@@ -1,0 +1,84 @@
+// A1 — Common-coin ablation.
+//
+// The paper's ΠABA ([3,7]) builds a *common* coin from shunning-AVSS; our
+// substitute is a common-coin oracle (DESIGN.md). This ablation quantifies
+// why a common coin matters: replace it with Ben-Or-style private coins
+// (each party flips locally) and measure rounds-to-decide on adversarially
+// split inputs. With private coins, progress needs all honest coins to
+// coincide by luck — convergence degrades with n; with the common coin one
+// lucky round suffices.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "src/ba/aba.hpp"
+
+using namespace bobw;
+
+namespace {
+
+struct Sample {
+  double avg_rounds = 0;
+  int max_rounds = 0;
+  int undecided = 0;
+};
+
+Sample run_aba(int n, CoinSource& coin, std::uint64_t seed) {
+  const int ts = (n - 1) / 3;
+  auto w = bench::make_world(n, ts, 0, NetMode::kAsynchronous, nullptr, seed);
+  std::vector<std::unique_ptr<Aba>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Aba>(w.party(i), "aba", ts, coin, nullptr);
+  for (int i = 0; i < n; ++i) {
+    auto* I = inst[static_cast<std::size_t>(i)].get();
+    const bool b = i % 2 == 0;  // split inputs
+    w.party(i).at(0, [I, b] { I->start(b); });
+  }
+  w.sim->run(~Tick{0}, 20'000'000ULL);
+  Sample s;
+  for (int i = 0; i < n; ++i) {
+    const auto& I = *inst[static_cast<std::size_t>(i)];
+    if (!I.decided()) {
+      ++s.undecided;
+      continue;
+    }
+    s.avg_rounds += I.rounds_used();
+    s.max_rounds = std::max(s.max_rounds, I.rounds_used());
+  }
+  if (n > s.undecided) s.avg_rounds /= (n - s.undecided);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A1: ABA rounds-to-decide on split inputs — common vs private coins\n");
+  bench::rule();
+  std::printf("%4s | %20s | %20s\n", "n", "common coin (rounds)", "private coins (rounds)");
+  bench::rule();
+  for (int n : {4, 7, 10}) {
+    double common_avg = 0, local_avg = 0;
+    int common_max = 0, local_max = 0, local_undecided = 0;
+    const int kRuns = 5;
+    for (std::uint64_t s = 1; s <= kRuns; ++s) {
+      IdealCoin ic(s * 31 + static_cast<std::uint64_t>(n));
+      auto cs = run_aba(n, ic, s);
+      common_avg += cs.avg_rounds / kRuns;
+      common_max = std::max(common_max, cs.max_rounds);
+      LocalCoin lc(s * 77 + static_cast<std::uint64_t>(n));
+      auto ls = run_aba(n, lc, s + 1000);
+      local_avg += ls.avg_rounds / kRuns;
+      local_max = std::max(local_max, ls.max_rounds);
+      local_undecided += ls.undecided;
+    }
+    std::printf("%4d | avg %5.1f  max %3d   | avg %5.1f  max %3d%s\n", n, common_avg, common_max,
+                local_avg, local_max,
+                local_undecided ? "  (some runs undecided at event cap!)" : "");
+  }
+  bench::rule();
+  std::printf("note: with this simulator's NON-adaptive scheduler both variants\n"
+              "converge in a handful of rounds; the liveness separation that motivates\n"
+              "the paper's shunning-AVSS common coin requires an adaptive scheduler\n"
+              "(see EXPERIMENTS.md A1). Safety is coin-independent in every run.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// T2 — Communication-complexity exponents.
+//
+// Paper claims (bits sent by honest parties):
+//   ΠACast O(n² ℓ)          (Lemma 2.4)
+//   ΠBC    O(n² ℓ) for BGP; our phase-king substitute costs O(n³ ℓ) — the
+//          *documented* substitution gap (DESIGN.md), expected slope ≈ 3
+//   ΠWPS   O(n² L + n⁴ log F)   (Thm 4.8; +1 from the substitution -> ≈ 5)
+//   ΠVSS   O(n³ L + n⁵ log F)   (Thm 4.16; expected measured ≈ 6)
+// We sweep n, measure honest bits, and fit the log-log slope.
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "src/bcast/acast.hpp"
+#include "src/bcast/bc.hpp"
+#include "src/vss/vss.hpp"
+#include "src/vss/wps.hpp"
+
+using namespace bobw;
+
+namespace {
+
+double measure_acast(int n, std::size_t ell_bytes) {
+  auto w = bench::make_world(n, (n - 1) / 3, 0, NetMode::kSynchronous);
+  std::vector<std::unique_ptr<Acast>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Acast>(w.party(i), "acast", 0, (n - 1) / 3, nullptr);
+  Bytes m(ell_bytes, 0x5A);
+  w.party(0).at(0, [&] { inst[0]->start(m); });
+  w.sim->run();
+  return static_cast<double>(w.sim->metrics().honest_bits());
+}
+
+double measure_bc(int n, std::size_t ell_bytes) {
+  auto w = bench::make_world(n, (n - 1) / 3, 0, NetMode::kSynchronous);
+  std::vector<std::unique_ptr<Bc>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Bc>(w.party(i), "bc", 0, w.ctx, 0, nullptr);
+  Bytes m(ell_bytes, 0x5A);
+  w.party(0).at(0, [&] { inst[0]->broadcast(m); });
+  w.sim->run();
+  return static_cast<double>(w.sim->metrics().honest_bits());
+}
+
+double measure_wps(int n) {
+  const int ts = (n - 1) / 3, ta = std::max(0, n - 3 * ts - 1);
+  auto w = bench::make_world(n, ts, std::min(ta, ts), NetMode::kSynchronous);
+  std::vector<std::unique_ptr<Wps>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Wps>(w.party(i), "wps", 0, 1, w.ctx, 0, nullptr);
+  Rng rng(1);
+  Poly q = Poly::random(ts, rng);
+  w.party(0).at(0, [&] { inst[0]->deal({q}); });
+  w.sim->run();
+  return static_cast<double>(w.sim->metrics().honest_bits());
+}
+
+double measure_vss(int n) {
+  const int ts = (n - 1) / 3;
+  auto w = bench::make_world(n, ts, 0, NetMode::kSynchronous);
+  std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Vss>(w.party(i), "vss", 0, 1, w.ctx, 0, nullptr);
+  Rng rng(1);
+  Poly q = Poly::random(ts, rng);
+  w.party(0).at(0, [&] { inst[0]->deal({q}); });
+  w.sim->run();
+  return static_cast<double>(w.sim->metrics().honest_bits());
+}
+
+void report(const char* name, const std::vector<double>& ns, const std::vector<double>& bits,
+            double paper_exp, double our_exp) {
+  double slope = bobw::bench::loglog_slope(ns, bits);
+  std::printf("%-8s", name);
+  for (std::size_t i = 0; i < ns.size(); ++i) std::printf(" n=%-2.0f:%10.3g", ns[i], bits[i]);
+  std::printf("   slope %.2f (paper %.0f, ours %.0f)\n", slope, paper_exp, our_exp);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("T2: honest-party communication vs n (log-log slope = exponent)\n");
+  bobw::bench::rule();
+
+  {
+    std::vector<double> ns, bits;
+    for (int n : {4, 7, 10, 13}) {
+      ns.push_back(n);
+      bits.push_back(measure_acast(n, 512));
+    }
+    report("ACast", ns, bits, 2, 2);
+  }
+  {
+    std::vector<double> ns, bits;
+    for (int n : {4, 7, 10, 13}) {
+      ns.push_back(n);
+      bits.push_back(measure_bc(n, 512));
+    }
+    report("BC", ns, bits, 2, 3);
+  }
+  {
+    std::vector<double> ns, bits;
+    for (int n : {4, 7, 10}) {
+      ns.push_back(n);
+      bits.push_back(measure_wps(n));
+    }
+    report("WPS", ns, bits, 4, 5);
+  }
+  {
+    std::vector<double> ns, bits;
+    for (int n : {4, 7, 10}) {
+      ns.push_back(n);
+      bits.push_back(measure_vss(n));
+    }
+    report("VSS", ns, bits, 5, 6);
+  }
+  bobw::bench::rule();
+  std::printf("'ours' = paper exponent + 1 where the recursive-BGP -> phase-king\n"
+              "substitution inflates every broadcast by a factor n (DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// M1–M3: substrate micro-benchmarks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/field/fp.hpp"
+#include "src/field/poly.hpp"
+#include "src/graph/star.hpp"
+#include "src/rs/reed_solomon.hpp"
+
+namespace bobw {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  Fp a = Fp::random(rng), b = Fp::random(rng);
+  for (auto _ : state) {
+    a = a * b + a;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInv(benchmark::State& state) {
+  Rng rng(2);
+  Fp a = Fp::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inv());
+    a += Fp(1);
+  }
+}
+BENCHMARK(BM_FieldInv);
+
+void BM_Interpolate(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Poly q = Poly::random(d, rng);
+  std::vector<Fp> xs, ys;
+  for (int i = 0; i <= d; ++i) {
+    xs.push_back(alpha(i));
+    ys.push_back(q.eval(alpha(i)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(Poly::interpolate(xs, ys));
+}
+BENCHMARK(BM_Interpolate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RsDecode(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0)), e = static_cast<int>(state.range(1));
+  Rng rng(4);
+  Poly q = Poly::random(d, rng);
+  std::vector<Fp> xs, ys;
+  for (int k = 0; k < d + 2 * e + 1; ++k) {
+    xs.push_back(alpha(k));
+    ys.push_back(q.eval(alpha(k)));
+  }
+  for (int k = 0; k < e; ++k) ys[static_cast<std::size_t>(k)] += Fp(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rs_decode(d, e, xs, ys));
+}
+BENCHMARK(BM_RsDecode)->Args({2, 2})->Args({4, 4})->Args({8, 8});
+
+void BM_StarFinding(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  Graph g(n);
+  for (int u = 0; u < n - t; ++u)
+    for (int v = u + 1; v < n - t; ++v) g.add_edge(u, v);
+  for (auto _ : state) benchmark::DoNotOptimize(find_star(g, t));
+}
+BENCHMARK(BM_StarFinding)->Arg(7)->Arg(13)->Arg(25);
+
+}  // namespace
+}  // namespace bobw
+
+BENCHMARK_MAIN();

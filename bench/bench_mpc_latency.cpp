@@ -1,0 +1,60 @@
+// F3 — End-to-end MPC latency vs. actual network speed (paper §1).
+//
+// The paper motivates asynchronous protocols by noting that a synchronous
+// protocol always pays the pessimistic bound Δ even when the real delay
+// δ << Δ, while asynchronous executions run at network speed. We fix Δ
+// (the timeout constant baked into the protocol) and sweep the *actual*
+// delay band of the asynchronous network; termination time should track δ
+// once δ dominates the local timeouts. The synchronous row pays ~const·Δ
+// regardless.
+#include "bench/bench_util.hpp"
+#include "src/core/runner.hpp"
+
+using namespace bobw;
+
+int main() {
+  const int n = 4, ts = 1, ta = 0;
+  Circuit cir = circuits::pairwise_sums_product(n);
+  std::vector<Fp> inputs{Fp(1), Fp(2), Fp(3), Fp(4)};
+
+  std::printf("F3: MPC termination time vs actual network delay (Delta = 1000 ticks)\n");
+  bench::rule();
+  std::printf("%-26s %14s %14s\n", "network", "max delay/Δ", "finish (Δ units)");
+  bench::rule();
+
+  {
+    MpcConfig cfg;
+    cfg.n = n;
+    cfg.ts = ts;
+    cfg.ta = ta;
+    cfg.mode = NetMode::kSynchronous;
+    cfg.seed = 1;
+    auto res = run_mpc(cir, inputs, cfg);
+    Tick worst = 0;
+    for (auto t : res.finish_time) worst = std::max(worst, t);
+    std::printf("%-26s %14s %14.1f\n", "synchronous (delay = Δ)", "1.00", worst / 1000.0);
+  }
+
+  for (Tick dmax : {10ULL, 100ULL, 1000ULL, 4000ULL, 16000ULL}) {
+    MpcConfig cfg;
+    cfg.n = n;
+    cfg.ts = ts;
+    cfg.ta = ta;
+    cfg.mode = NetMode::kAsynchronous;
+    cfg.async_min = 1;
+    cfg.async_max = dmax;
+    cfg.seed = 2 + dmax;
+    auto res = run_mpc(cir, inputs, cfg);
+    Tick worst = 0;
+    bool ok = res.all_honest_agree({});
+    for (auto t : res.finish_time) worst = std::max(worst, t);
+    std::printf("%-26s %14.2f %14.1f%s\n", "asynchronous", dmax / 1000.0, worst / 1000.0,
+                ok ? "" : "  (DISAGREED)");
+  }
+  bench::rule();
+  std::printf("expectation: async rows with δ << Δ are NOT faster than the sync run\n"
+              "(local Δ-timeouts in ΠBC/ΠBA gate progress — the BoBW price), but\n"
+              "async latency grows smoothly with δ and the protocol never breaks,\n"
+              "even at δ = 16Δ where any synchronous protocol is long dead.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// T3 — Preprocessing-phase cost (paper Theorem 6.5).
+//
+// Claims regenerated:
+//   * ΠPreProcessing outputs exactly c_M ts-shared multiplication triples;
+//   * sync deadline T_TripGen holds;
+//   * communication splits into a c_M-linear term and an n-polynomial fixed
+//     term: O(n⁵/(ta/2+1)·c_M + n⁷) — we sweep c_M at fixed n and verify the
+//     marginal per-triple cost flattens (amortisation).
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "src/field/poly.hpp"
+#include "src/mpc/preprocess.hpp"
+
+using namespace bobw;
+
+namespace {
+
+struct Sample {
+  double bits = 0;
+  Tick finish = 0;
+  int triples = 0;
+  bool all_multiplicative = true;
+};
+
+Sample run_prep(int n, int cm, NetMode mode, std::uint64_t seed) {
+  const int ts = (n - 1) / 3;
+  const int ta = std::min(ts, std::max(0, n - 3 * ts - 1));
+  auto w = bench::make_world(n, ts, ta, mode, nullptr, seed);
+  std::vector<std::unique_ptr<Preprocess>> inst(static_cast<std::size_t>(n));
+  std::vector<std::optional<std::vector<TripleShare>>> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& slot = out[static_cast<std::size_t>(i)];
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Preprocess>(
+        w.party(i), "prep", w.ctx, 0, cm,
+        [&slot](const std::vector<TripleShare>& t) { slot = t; });
+    auto* I = inst[static_cast<std::size_t>(i)].get();
+    w.party(i).at(0, [I] { I->deal(); });
+  }
+  w.sim->run();
+  Sample s;
+  s.bits = static_cast<double>(w.sim->metrics().honest_bits());
+  s.finish = w.sim->now();
+  s.triples = out[0] ? static_cast<int>(out[0]->size()) : 0;
+  // Open each triple and verify multiplicativity.
+  for (int k = 0; k < s.triples; ++k) {
+    std::vector<Fp> xs, as, bs, cs;
+    for (int i = 0; i < n; ++i) {
+      if (!out[static_cast<std::size_t>(i)]) continue;
+      xs.push_back(alpha(i));
+      as.push_back((*out[static_cast<std::size_t>(i)])[static_cast<std::size_t>(k)].a);
+      bs.push_back((*out[static_cast<std::size_t>(i)])[static_cast<std::size_t>(k)].b);
+      cs.push_back((*out[static_cast<std::size_t>(i)])[static_cast<std::size_t>(k)].c);
+    }
+    if (lagrange_eval(xs, as, Fp(0)) * lagrange_eval(xs, bs, Fp(0)) !=
+        lagrange_eval(xs, cs, Fp(0)))
+      s.all_multiplicative = false;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("T3: preprocessing cost (n = 4, ts = 1; sync unless noted)\n");
+  bench::rule();
+  std::printf("%6s %9s %14s %16s %12s %6s\n", "c_M", "triples", "bits", "bits/triple",
+              "finish (Δ)", "mult?");
+  bench::rule();
+  Timing T = Timing::compute(1, 1000);
+  for (int cm : {1, 2, 4, 8, 16}) {
+    auto s = run_prep(4, cm, NetMode::kSynchronous, 10 + static_cast<std::uint64_t>(cm));
+    std::printf("%6d %9d %14.3g %16.3g %12.1f %6s\n", cm, s.triples, s.bits, s.bits / s.triples,
+                s.finish / 1000.0, s.all_multiplicative ? "yes" : "NO");
+  }
+  bench::rule();
+  std::printf("T_TripGen bound = %.1f Δ (sync deadline for the c_M sharings)\n",
+              T.t_tripgen / 1000.0);
+  auto a = run_prep(4, 4, NetMode::kAsynchronous, 99);
+  std::printf("async check: %d triples, all multiplicative: %s\n", a.triples,
+              a.all_multiplicative ? "yes" : "NO");
+  std::printf("expectation: bits/triple falls as c_M grows (the n⁷-ish fixed part\n"
+              "amortises), every triple multiplicative in both networks.\n");
+  return 0;
+}

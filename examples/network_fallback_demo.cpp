@@ -1,0 +1,87 @@
+// The paper's headline story, demonstrated: one protocol, two networks.
+//
+// We run the same computation three ways:
+//   1. synchronous network, ts = 2 Byzantine crash faults  (n = 8);
+//   2. asynchronous network, ta = 1 fault — same, unmodified protocol;
+//   3. the timeout-based synchronous baseline on the asynchronous network —
+//      which breaks, motivating best-of-both-worlds design (paper §1).
+//
+// Build & run:  ./build/examples/network_fallback_demo
+#include <cstdio>
+#include <memory>
+
+#include "src/core/runner.hpp"
+#include "src/mpc/baseline.hpp"
+#include "tests/harness.hpp"
+
+using namespace bobw;
+
+static void banner(const char* s) { std::printf("\n=== %s ===\n", s); }
+
+int main() {
+  const int n = 8, ts = 2, ta = 1;  // 3*2 + 1 = 7 < 8
+  Circuit cir = circuits::pairwise_sums_product(n);
+  std::vector<Fp> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(Fp(static_cast<std::uint64_t>(10 + i)));
+
+  banner("1. synchronous network, 2 Byzantine (crash) faults");
+  {
+    MpcConfig cfg;
+    cfg.n = n;
+    cfg.ts = ts;
+    cfg.ta = ta;
+    cfg.mode = NetMode::kSynchronous;
+    cfg.corrupt = {2, 5};
+    auto res = run_mpc(cir, inputs, cfg);
+    std::printf("honest agreement: %s, output: %llu, inputs in CS: %zu/%d\n",
+                res.all_honest_agree(cfg.corrupt) ? "yes" : "NO",
+                res.outputs[0] ? static_cast<unsigned long long>(res.outputs[0]->value()) : 0ULL,
+                res.input_cs.size(), n);
+    std::printf("every honest party's input was included (paper Thm 7.1).\n");
+  }
+
+  banner("2. SAME protocol, asynchronous network, 1 fault");
+  {
+    MpcConfig cfg;
+    cfg.n = n;
+    cfg.ts = ts;
+    cfg.ta = ta;
+    cfg.mode = NetMode::kAsynchronous;
+    cfg.corrupt = {4};
+    cfg.seed = 3;
+    auto res = run_mpc(cir, inputs, cfg);
+    std::printf("honest agreement: %s, output: %llu, inputs in CS: %zu/%d\n",
+                res.all_honest_agree(cfg.corrupt) ? "yes" : "NO",
+                res.outputs[0] ? static_cast<unsigned long long>(res.outputs[0]->value()) : 0ULL,
+                res.input_cs.size(), n);
+    std::printf("no reconfiguration, no network detection — the fallback is built in.\n");
+  }
+
+  banner("3. a timeout-based synchronous protocol on the asynchronous network");
+  {
+    int broken_runs = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto w = test::make_world(n, ts, ta, NetMode::kAsynchronous, test::crash({4}), seed);
+      std::vector<std::unique_ptr<SyncShareBaseline>> inst(static_cast<std::size_t>(n));
+      int correct = 0, honest_count = 0;
+      std::vector<std::optional<Fp>> got(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        if (!w.honest(i)) continue;
+        ++honest_count;
+        auto& slot = got[static_cast<std::size_t>(i)];
+        inst[static_cast<std::size_t>(i)] = std::make_unique<SyncShareBaseline>(
+            w.party(i), "base", 0, ts, 0,
+            [&slot](const std::optional<Fp>& v) { slot = v; });
+      }
+      inst[0]->deal(Fp(9001));
+      w.sim->run();
+      for (int i = 0; i < n; ++i)
+        if (got[static_cast<std::size_t>(i)] && *got[static_cast<std::size_t>(i)] == Fp(9001)) ++correct;
+      if (correct < honest_count) ++broken_runs;
+      std::printf("  seed %llu: %d/%d honest parties reconstructed correctly\n",
+                  static_cast<unsigned long long>(seed), correct, honest_count);
+    }
+    std::printf("baseline broke in %d/5 runs — this is why the paper exists.\n", broken_runs);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Privacy-preserving descriptive statistics: five data owners compute the
+// sum and the sum of squares of their private values (the two sufficient
+// statistics for mean and variance) without revealing any individual value.
+// Both statistics come out of a SINGLE multi-output MPC run, executed over
+// an *asynchronous* network — the protocol's fallback guarantees carry it
+// through with ta corruptions.
+//
+// Build & run:  ./build/examples/private_statistics
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/runner.hpp"
+
+int main() {
+  using namespace bobw;
+  const int n = 5;
+  // Private values (e.g. salaries in k$).
+  std::vector<Fp> salaries{Fp(62), Fp(71), Fp(58), Fp(90), Fp(66)};
+
+  // One circuit, two public outputs: Σx and Σx².
+  Circuit cir(n);
+  int sum = -1, sumsq = -1;
+  for (int p = 0; p < n; ++p) {
+    int x = cir.input(p);
+    int sq = cir.mul(x, x);
+    sum = p == 0 ? x : cir.add(sum, x);
+    sumsq = p == 0 ? sq : cir.add(sumsq, sq);
+  }
+  cir.set_output(sum);
+  cir.add_output(sumsq);
+
+  MpcConfig cfg;
+  cfg.n = n;
+  cfg.ts = 1;
+  cfg.ta = 1;  // 3*1 + 1 < 5
+  cfg.mode = NetMode::kAsynchronous;
+  cfg.seed = 7;
+
+  auto res = run_mpc(cir, salaries, cfg);
+  if (!res.all_honest_agree({})) {
+    std::printf("protocol failed to agree\n");
+    return 1;
+  }
+  const auto& out = *res.output_vectors[0];
+  const double s1 = static_cast<double>(out[0].value());
+  const double s2 = static_cast<double>(out[1].value());
+  const double cnt = static_cast<double>(res.input_cs.size());
+  const double mean = s1 / cnt;
+  const double var = s2 / cnt - mean * mean;
+
+  std::printf("asynchronous network, %zu of %d inputs made the common subset\n",
+              res.input_cs.size(), n);
+  std::printf("sum  = %.0f\n", s1);
+  std::printf("mean = %.2f k$\n", mean);
+  std::printf("var  = %.2f (stddev %.2f k$)\n", var, var > 0 ? std::sqrt(var) : 0.0);
+  std::printf("no individual salary was revealed to any party.\n");
+  return 0;
+}

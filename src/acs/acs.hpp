@@ -1,0 +1,73 @@
+// ΠACS — agreement on a common subset (paper §5, Fig 5, Lemma 5.1).
+//
+// Each party deals L degree-ts polynomials through its own ΠVSS instance.
+// After local time B+T_VSS, parties join ΠBA instance j with input 1 the
+// moment Π(j)VSS delivers an output; once n−ts BA instances have output 1
+// they join every remaining BA with input 0. CS is derived from the BA
+// outputs (all 1-parties, or the first n−ts of them — the rule differs
+// between Fig 5 and the preprocessing protocol, so it is a parameter).
+//
+// Guarantees: |CS| >= n−ts; in a synchronous network every honest party is
+// in CS; every honest party obtains shares of the polynomials of every CS
+// member (eventually, for corrupt members).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ba/ba.hpp"
+#include "src/core/timing.hpp"
+#include "src/vss/vss.hpp"
+
+namespace bobw {
+
+class Acs {
+ public:
+  struct Output {
+    std::vector<int> cs;  // sorted member list
+    /// shares[j] = this party's L shares of Pj's polynomials, for j in cs.
+    std::vector<std::optional<std::vector<Fp>>> shares;
+  };
+  using Handler = std::function<void(const Output&)>;
+
+  enum class CsRule { kAllOnes, kFirstNMinusTs };
+
+  Acs(Party& party, const std::string& id, int L, const Ctx& ctx, Tick base,
+      CsRule rule, Handler on_output);
+
+  /// This party's input polynomials (dealt through its ΠVSS at the base
+  /// schedule). Corrupt/silent parties simply never call this.
+  void set_input(const std::vector<Poly>& polys);
+
+  bool done() const { return done_; }
+  const Output& output() const { return out_; }
+  /// Direct access to the VSS children (ΠTripSh reads verification-triple
+  /// shares for parties outside CS as they straggle in).
+  Vss& vss(int j) { return *vss_[static_cast<std::size_t>(j)]; }
+
+ private:
+  void on_vss_output(int j);
+  void on_ba_decided(int j, bool b);
+  void maybe_finish();
+
+  Party& party_;
+  std::string id_;
+  int L_;
+  Ctx ctx_;
+  Tick base_;
+  CsRule rule_;
+  Handler handler_;
+
+  std::vector<std::unique_ptr<Vss>> vss_;
+  std::vector<std::unique_ptr<Ba>> ba_;
+  std::vector<std::optional<bool>> ba_out_;
+  int ones_ = 0, decided_ = 0;
+  bool zeros_cast_ = false;
+  std::optional<std::vector<int>> cs_;
+  Output out_;
+  bool done_ = false;
+};
+
+}  // namespace bobw

@@ -1,0 +1,64 @@
+#include "src/ba/ba.hpp"
+
+namespace bobw {
+
+Ba::Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Handler on_decide)
+    : party_(party), ctx_(ctx), start_(start_time), on_decide_(std::move(on_decide)) {
+  regular_bits_.assign(static_cast<std::size_t>(ctx_.n), std::nullopt);
+  bcs_.reserve(static_cast<std::size_t>(ctx_.n));
+  for (int j = 0; j < ctx_.n; ++j) {
+    bcs_.push_back(std::make_unique<Bc>(
+        party_, sub_id(id, "bc:" + std::to_string(j)), j, ctx_, start_,
+        [this, j](const std::optional<Bytes>& v, bool fallback) {
+          if (fallback || !v) return;
+          if (v->size() == 1 && (*v)[0] <= 1)
+            regular_bits_[static_cast<std::size_t>(j)] = (*v)[0] != 0;
+        }));
+  }
+  aba_ = std::make_unique<Aba>(party_, sub_id(id, "aba"), ctx_.ts, *ctx_.coin,
+                               [this](bool b) {
+                                 if (on_decide_) on_decide_(b);
+                               });
+  party_.at(start_, [this] {
+    if (input_ && !input_broadcast_) {
+      input_broadcast_ = true;
+      bcs_[static_cast<std::size_t>(party_.id())]->broadcast(Bytes{*input_ ? std::uint8_t{1} : std::uint8_t{0}});
+    }
+  });
+  party_.at(start_ + ctx_.T.t_bc, [this] { at_deadline(); });
+}
+
+void Ba::set_input(bool b) {
+  if (input_) return;
+  input_ = b;
+  if (party_.now() >= start_ && !input_broadcast_) {
+    input_broadcast_ = true;
+    bcs_[static_cast<std::size_t>(party_.id())]->broadcast(Bytes{b ? std::uint8_t{1} : std::uint8_t{0}});
+  }
+  if (deadline_passed_) enter_aba();
+}
+
+void Ba::at_deadline() {
+  deadline_passed_ = true;
+  if (input_) enter_aba();
+}
+
+void Ba::enter_aba() {
+  if (aba_started_) return;
+  aba_started_ = true;
+  // R = parties with a non-⊥ regular-mode bit.
+  int ones = 0, zeros = 0;
+  for (const auto& b : regular_bits_) {
+    if (!b) continue;
+    (*b ? ones : zeros)++;
+  }
+  bool v;
+  if (ones + zeros >= ctx_.n - ctx_.ts) {
+    v = ones >= zeros;  // majority; tie -> 1 (paper footnote)
+  } else {
+    v = *input_;
+  }
+  aba_->start(v);
+}
+
+}  // namespace bobw

@@ -1,0 +1,28 @@
+#include "src/ba/coin.hpp"
+
+#include "src/common/rng.hpp"
+
+namespace bobw {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool IdealCoin::coin(const std::string& instance, int round, int /*party*/) {
+  if (round == 1) return true;
+  if (round == 2) return false;
+  return (mix64(seed_ ^ fnv1a(instance) ^ (static_cast<std::uint64_t>(round) << 32)) & 1) != 0;
+}
+
+bool LocalCoin::coin(const std::string& instance, int round, int party) {
+  return (mix64(seed_ ^ fnv1a(instance) ^ (static_cast<std::uint64_t>(round) << 32) ^
+                (static_cast<std::uint64_t>(party) << 16)) &
+          1) != 0;
+}
+
+}  // namespace bobw

@@ -1,0 +1,49 @@
+#include "src/bcast/acast.hpp"
+
+namespace bobw {
+
+Acast::Acast(Party& party, std::string id, int sender, int t, Handler on_output)
+    : Instance(party, std::move(id)), sender_(sender), t_(t), on_output_(std::move(on_output)) {}
+
+void Acast::start(const Bytes& m) { send_all(kInit, m); }
+
+void Acast::on_message(const Msg& m) {
+  switch (m.type) {
+    case kInit: {
+      if (m.from != sender_ || echoed_) return;
+      echoed_ = true;
+      send_all(kEcho, m.body);
+      return;
+    }
+    case kEcho: {
+      auto& s = echoes_[m.body];
+      if (!s.insert(m.from).second) return;
+      // ⌈(n+t+1)/2⌉ echoes for the same value.
+      if (static_cast<int>(s.size()) >= (n() + t_ + 2) / 2) maybe_ready(m.body);
+      return;
+    }
+    case kReady: {
+      auto& s = readies_[m.body];
+      if (!s.insert(m.from).second) return;
+      if (static_cast<int>(s.size()) >= t_ + 1) maybe_ready(m.body);
+      if (static_cast<int>(s.size()) >= 2 * t_ + 1) accept(m.body);
+      return;
+    }
+    default:
+      return;  // unknown type from a Byzantine sender — ignore
+  }
+}
+
+void Acast::maybe_ready(const Bytes& value) {
+  if (readied_) return;
+  readied_ = true;
+  send_all(kReady, value);
+}
+
+void Acast::accept(const Bytes& value) {
+  if (output_) return;
+  output_ = value;
+  if (on_output_) on_output_(value);
+}
+
+}  // namespace bobw

@@ -1,0 +1,65 @@
+// ΠBC — synchronous broadcast with asynchronous guarantees (paper §3.1,
+// Fig 1, Theorem 3.5).
+//
+// The sender Acasts m at the scheduled start time T0. At local time T0+3Δ
+// every party joins an SBA (phase-king) instance with input = its current
+// Acast output (⊥ if none). At T0+T_BC (T_BC = 3Δ+T_BGP) the regular-mode
+// output is m* if m* was received from the Acast *and* the SBA decided m*;
+// otherwise ⊥. Parties that output ⊥ later switch to the Acast value the
+// moment it arrives (fallback mode).
+//
+// All parties must agree on T0 — it is part of the enclosing protocol's
+// public schedule. A sender that starts late simply misses the regular
+// window; receivers still get the value through fallback mode, which is
+// exactly the paper's weak validity/consistency behaviour.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/bcast/acast.hpp"
+#include "src/bcast/phase_king.hpp"
+#include "src/core/timing.hpp"
+
+namespace bobw {
+
+class Bc {
+ public:
+  /// value = nullopt means ⊥. `fallback` distinguishes the two modes; the
+  /// handler fires once for the regular output and once more if a later
+  /// fallback switch happens.
+  using Handler = std::function<void(const std::optional<Bytes>& value, bool fallback)>;
+
+  Bc(Party& party, const std::string& id, int sender, const Ctx& ctx,
+     Tick start_time, Handler handler);
+
+  /// Sender-side: begin broadcasting (honest senders call this at the
+  /// scheduled start; the simulator permits late or absent calls).
+  void broadcast(const Bytes& m);
+
+  int sender() const { return sender_; }
+  Tick start_time() const { return start_; }
+  bool regular_decided() const { return regular_done_; }
+  /// Regular-mode output (nullopt = ⊥ or not yet decided).
+  const std::optional<Bytes>& regular_output() const { return regular_; }
+  /// Best known output, including fallback switches.
+  const std::optional<Bytes>& output() const { return current_; }
+
+ private:
+  void decide_regular();
+  void on_acast(const Bytes& m);
+
+  Party& party_;
+  int sender_;
+  Ctx ctx_;
+  Tick start_;
+  Handler handler_;
+  std::unique_ptr<Acast> acast_;
+  std::unique_ptr<PhaseKing> sba_;
+  bool regular_done_ = false;
+  std::optional<Bytes> regular_;
+  std::optional<Bytes> current_;
+};
+
+}  // namespace bobw

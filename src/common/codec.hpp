@@ -1,0 +1,57 @@
+// Byte-level message codec. Every protocol payload is serialised through this
+// codec so that the simulator can meter honest-party communication in bits —
+// the quantity the paper's complexity theorems talk about.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bobw {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only writer over a byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed byte string.
+  void bytes(const Bytes& b);
+  /// Length-prefixed vector of u64 words (used for field elements).
+  void u64s(const std::vector<std::uint64_t>& v);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential reader with bounds checking; throws CodecError on malformed
+/// input (a Byzantine sender may send garbage — honest code must not crash).
+struct CodecError : std::runtime_error {
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& b) : buf_(b) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes();
+  std::vector<std::uint64_t> u64s();
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t k);
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bobw

@@ -1,0 +1,40 @@
+// Deterministic, splittable pseudo-random generator used throughout the
+// simulator. Determinism matters: every test and bench is reproducible from a
+// single seed, including the adversarial scheduler's choices.
+#pragma once
+
+#include <cstdint>
+
+namespace bobw {
+
+/// splitmix64 step — also used standalone as a hash/stream-derivation mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mix an arbitrary 64-bit value into a well-distributed 64-bit value.
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** seeded via splitmix64. Small, fast, deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) for bound >= 1, via rejection sampling.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform bit.
+  bool next_bool();
+
+  /// Derive an independent child generator (for per-party / per-instance
+  /// streams) without perturbing this generator's sequence.
+  Rng fork(std::uint64_t stream_tag) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bobw

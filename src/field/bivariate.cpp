@@ -1,0 +1,70 @@
+#include "src/field/bivariate.hpp"
+
+#include <stdexcept>
+
+namespace bobw {
+
+SymBivariate SymBivariate::random_embedding(int d, const Poly& q, Rng& rng) {
+  if (q.degree() > d) throw std::invalid_argument("embedding: deg q > d");
+  SymBivariate Q;
+  const std::size_t m = static_cast<std::size_t>(d) + 1;
+  Q.r_.assign(m, std::vector<Fp>(m, Fp(0)));
+  // Constraint: Q(0,y) = sum_j r_[0][j] y^j = q(y); symmetry fixes r_[j][0].
+  for (std::size_t j = 0; j < m; ++j) {
+    Fp qc = q.coeff(static_cast<int>(j));
+    Q.r_[0][j] = qc;
+    Q.r_[j][0] = qc;
+  }
+  // Remaining entries: uniformly random symmetric.
+  for (std::size_t i = 1; i < m; ++i)
+    for (std::size_t j = i; j < m; ++j) {
+      Fp v = Fp::random(rng);
+      Q.r_[i][j] = v;
+      Q.r_[j][i] = v;
+    }
+  return Q;
+}
+
+Fp SymBivariate::eval(Fp x, Fp y) const {
+  // Horner in x of polynomials in y.
+  Fp acc(0);
+  for (auto it = r_.rbegin(); it != r_.rend(); ++it) {
+    Fp inner(0);
+    for (auto jt = it->rbegin(); jt != it->rend(); ++jt) inner = inner * y + *jt;
+    acc = acc * x + inner;
+  }
+  return acc;
+}
+
+Poly SymBivariate::row(Fp at) const {
+  const std::size_t m = r_.size();
+  std::vector<Fp> c(m, Fp(0));
+  // Q(x, at) = sum_i x^i * (sum_j r_[i][j] at^j)
+  for (std::size_t i = 0; i < m; ++i) {
+    Fp inner(0);
+    for (std::size_t j = m; j-- > 0;) inner = inner * at + r_[i][j];
+    c[i] = inner;
+  }
+  return Poly(std::move(c));
+}
+
+SymBivariate SymBivariate::from_rows(int d, const std::vector<Fp>& ys,
+                                     const std::vector<Poly>& rows) {
+  if (ys.size() != rows.size() || static_cast<int>(ys.size()) < d + 1)
+    throw std::invalid_argument("from_rows: need at least d+1 rows");
+  const std::size_t m = static_cast<std::size_t>(d) + 1;
+  // For each x-coefficient index i, the values rows[k].coeff(i) are the
+  // evaluations at ys[k] of the degree-<=d polynomial c_i(y) = sum_j r_ij y^j.
+  SymBivariate Q;
+  Q.r_.assign(m, std::vector<Fp>(m, Fp(0)));
+  std::vector<Fp> xs(ys.begin(), ys.begin() + static_cast<long>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<Fp> vals(m);
+    for (std::size_t k = 0; k < m; ++k) vals[k] = rows[k].coeff(static_cast<int>(i));
+    Poly ci = Poly::interpolate(xs, vals);
+    for (std::size_t j = 0; j < m; ++j) Q.r_[i][j] = ci.coeff(static_cast<int>(j));
+  }
+  return Q;
+}
+
+}  // namespace bobw

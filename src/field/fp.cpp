@@ -1,0 +1,50 @@
+#include "src/field/fp.hpp"
+
+#include <ostream>
+
+#include "src/common/codec.hpp"
+
+namespace bobw {
+
+Fp Fp::pow(std::uint64_t e) const {
+  Fp base = *this;
+  Fp acc(1);
+  while (e) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+Fp Fp::inv() const { return pow(kP - 2); }
+
+Fp Fp::random(Rng& rng) {
+  // Rejection sampling over [0, p).
+  std::uint64_t x;
+  do {
+    x = rng.next_u64() >> 3;  // 61 bits
+  } while (x >= kP);
+  return from_raw(x);
+}
+
+std::ostream& operator<<(std::ostream& os, Fp x) { return os << x.value(); }
+
+std::vector<std::uint64_t> to_words(const std::vector<Fp>& xs) {
+  std::vector<std::uint64_t> ws;
+  ws.reserve(xs.size());
+  for (auto x : xs) ws.push_back(x.value());
+  return ws;
+}
+
+std::vector<Fp> from_words(const std::vector<std::uint64_t>& ws) {
+  std::vector<Fp> xs;
+  xs.reserve(ws.size());
+  for (auto w : ws) {
+    if (w >= Fp::kP) throw CodecError("field element out of range");
+    xs.push_back(Fp(w));
+  }
+  return xs;
+}
+
+}  // namespace bobw

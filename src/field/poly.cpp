@@ -1,0 +1,106 @@
+#include "src/field/poly.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bobw {
+
+Poly::Poly(std::vector<Fp> coeffs) : c_(std::move(coeffs)) { trim(); }
+
+void Poly::trim() {
+  while (!c_.empty() && c_.back().is_zero()) c_.pop_back();
+}
+
+Fp Poly::coeff(int i) const {
+  if (i < 0 || i >= static_cast<int>(c_.size())) return Fp(0);
+  return c_[static_cast<std::size_t>(i)];
+}
+
+Fp Poly::eval(Fp x) const {
+  Fp acc(0);
+  for (auto it = c_.rbegin(); it != c_.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  std::vector<Fp> c(std::max(a.c_.size(), b.c_.size()), Fp(0));
+  for (std::size_t i = 0; i < a.c_.size(); ++i) c[i] += a.c_[i];
+  for (std::size_t i = 0; i < b.c_.size(); ++i) c[i] += b.c_[i];
+  return Poly(std::move(c));
+}
+
+Poly operator-(const Poly& a, const Poly& b) {
+  std::vector<Fp> c(std::max(a.c_.size(), b.c_.size()), Fp(0));
+  for (std::size_t i = 0; i < a.c_.size(); ++i) c[i] += a.c_[i];
+  for (std::size_t i = 0; i < b.c_.size(); ++i) c[i] -= b.c_[i];
+  return Poly(std::move(c));
+}
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.c_.empty() || b.c_.empty()) return Poly();
+  std::vector<Fp> c(a.c_.size() + b.c_.size() - 1, Fp(0));
+  for (std::size_t i = 0; i < a.c_.size(); ++i)
+    for (std::size_t j = 0; j < b.c_.size(); ++j) c[i + j] += a.c_[i] * b.c_[j];
+  return Poly(std::move(c));
+}
+
+Poly Poly::scaled(Fp k) const {
+  std::vector<Fp> c = c_;
+  for (auto& x : c) x *= k;
+  return Poly(std::move(c));
+}
+
+Poly Poly::random(int d, Rng& rng) {
+  std::vector<Fp> c(static_cast<std::size_t>(d) + 1);
+  for (auto& x : c) x = Fp::random(rng);
+  return Poly(std::move(c));
+}
+
+Poly Poly::random_with_secret(int d, Fp secret, Rng& rng) {
+  std::vector<Fp> c(static_cast<std::size_t>(d) + 1);
+  c[0] = secret;
+  for (int i = 1; i <= d; ++i) c[static_cast<std::size_t>(i)] = Fp::random(rng);
+  return Poly(std::move(c));
+}
+
+Poly Poly::interpolate(const std::vector<Fp>& xs, const std::vector<Fp>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("interpolate: size mismatch");
+  const std::size_t k = xs.size();
+  // Build sum_j ys[j] * prod_{m!=j} (x - xs[m]) / (xs[j] - xs[m]).
+  Poly acc;
+  for (std::size_t j = 0; j < k; ++j) {
+    Poly basis(std::vector<Fp>{Fp(1)});
+    Fp denom(1);
+    for (std::size_t m = 0; m < k; ++m) {
+      if (m == j) continue;
+      basis = basis * Poly(std::vector<Fp>{-xs[m], Fp(1)});
+      denom *= xs[j] - xs[m];
+    }
+    acc = acc + basis.scaled(ys[j] * denom.inv());
+  }
+  return acc;
+}
+
+std::vector<Fp> lagrange_weights(const std::vector<Fp>& xs, Fp at) {
+  const std::size_t k = xs.size();
+  std::vector<Fp> w(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    Fp num(1), den(1);
+    for (std::size_t m = 0; m < k; ++m) {
+      if (m == j) continue;
+      num *= at - xs[m];
+      den *= xs[j] - xs[m];
+    }
+    w[j] = num * den.inv();
+  }
+  return w;
+}
+
+Fp lagrange_eval(const std::vector<Fp>& xs, const std::vector<Fp>& ys, Fp at) {
+  auto w = lagrange_weights(xs, at);
+  Fp acc(0);
+  for (std::size_t j = 0; j < xs.size(); ++j) acc += w[j] * ys[j];
+  return acc;
+}
+
+}  // namespace bobw

@@ -1,0 +1,59 @@
+// Univariate polynomials over F_p: evaluation, arithmetic, interpolation and
+// the "Lagrange linear function" helpers that ΠTripTrans / ΠTripExt use to
+// derive shares of new points from shares of old points (paper §6.2, §6.4).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/field/fp.hpp"
+
+namespace bobw {
+
+class Poly {
+ public:
+  Poly() = default;
+  /// Coefficients, low degree first. Trailing zeros are trimmed.
+  explicit Poly(std::vector<Fp> coeffs);
+
+  /// Degree; the zero polynomial reports degree -1.
+  int degree() const { return static_cast<int>(c_.size()) - 1; }
+  const std::vector<Fp>& coeffs() const { return c_; }
+  Fp coeff(int i) const;
+
+  Fp eval(Fp x) const;
+  Fp constant_term() const { return c_.empty() ? Fp(0) : c_[0]; }
+
+  friend Poly operator+(const Poly& a, const Poly& b);
+  friend Poly operator-(const Poly& a, const Poly& b);
+  friend Poly operator*(const Poly& a, const Poly& b);
+  Poly scaled(Fp k) const;
+
+  friend bool operator==(const Poly& a, const Poly& b) { return a.c_ == b.c_; }
+
+  /// Uniformly random polynomial of exactly-bounded degree d (top coefficient
+  /// may be zero — degree *at most* d, uniform over that space).
+  static Poly random(int d, Rng& rng);
+  /// Random degree-<=d polynomial with prescribed constant term (the paper's
+  /// "random t-degree polynomial with f(0) = s").
+  static Poly random_with_secret(int d, Fp secret, Rng& rng);
+
+  /// Unique degree-<=(k-1) polynomial through k distinct points.
+  static Poly interpolate(const std::vector<Fp>& xs, const std::vector<Fp>& ys);
+
+ private:
+  void trim();
+  std::vector<Fp> c_;  // c_[i] multiplies x^i
+};
+
+/// Lagrange coefficients: weights w_j such that for any polynomial q with
+/// deg q <= |xs|-1,  q(at) = sum_j w_j * q(xs[j]).
+/// This is the paper's "Lagrange linear function": applying the same weights
+/// to *shares* of q(xs[j]) yields shares of q(at), because d-sharings are
+/// linear (Definition 2.3).
+std::vector<Fp> lagrange_weights(const std::vector<Fp>& xs, Fp at);
+
+/// Evaluate a polynomial given by point-value pairs at a new point.
+Fp lagrange_eval(const std::vector<Fp>& xs, const std::vector<Fp>& ys, Fp at);
+
+}  // namespace bobw

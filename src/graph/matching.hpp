@@ -1,0 +1,33 @@
+// Maximum matching in general (non-bipartite) graphs — Edmonds' blossom
+// algorithm. The STAR algorithm of [13] (paper §2.1) runs maximum matching on
+// the *complement* of the consistency graph, which is a general graph.
+#pragma once
+
+#include <vector>
+
+namespace bobw {
+
+/// Undirected simple graph on vertices 0..n-1, adjacency matrix form.
+class Graph {
+ public:
+  explicit Graph(int n);
+  int size() const { return n_; }
+  void add_edge(int u, int v);
+  bool has_edge(int u, int v) const;
+  /// Complement graph (no self loops).
+  Graph complement() const;
+  int degree(int v) const;
+  /// Induced subgraph on `keep` (true = kept); vertex ids preserved, edges to
+  /// dropped vertices removed.
+  Graph induced(const std::vector<bool>& keep) const;
+
+ private:
+  int n_;
+  std::vector<std::vector<bool>> adj_;
+};
+
+/// Returns match[v] = partner of v, or -1 if unmatched. Edmonds' blossom
+/// algorithm; O(V^3), fine for protocol-sized graphs (n <= a few dozen).
+std::vector<int> max_matching(const Graph& g);
+
+}  // namespace bobw

@@ -1,0 +1,69 @@
+#include "src/graph/star.hpp"
+
+#include <algorithm>
+
+namespace bobw {
+
+std::optional<Star> find_star(const Graph& g, int t) {
+  const int n = g.size();
+  Graph h = g.complement();
+  std::vector<int> match = max_matching(h);
+
+  std::vector<bool> matched(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) matched[static_cast<std::size_t>(v)] = match[static_cast<std::size_t>(v)] != -1;
+
+  // Triangle vertices: unmatched v with H-edges to both endpoints of a
+  // matching edge.
+  std::vector<bool> triangle(static_cast<std::size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    if (matched[static_cast<std::size_t>(v)]) continue;
+    for (int a = 0; a < n && !triangle[static_cast<std::size_t>(v)]; ++a) {
+      int b = match[static_cast<std::size_t>(a)];
+      if (b <= a) continue;  // each matching edge once
+      if (h.has_edge(v, a) && h.has_edge(v, b)) triangle[static_cast<std::size_t>(v)] = true;
+    }
+  }
+
+  std::vector<int> E;
+  for (int v = 0; v < n; ++v)
+    if (!matched[static_cast<std::size_t>(v)] && !triangle[static_cast<std::size_t>(v)]) E.push_back(v);
+
+  std::vector<int> F;
+  for (int v = 0; v < n; ++v) {
+    bool ok = true;
+    for (int e : E)
+      if (e != v && h.has_edge(v, e)) {
+        ok = false;
+        break;
+      }
+    if (ok) F.push_back(v);
+  }
+
+  if (static_cast<int>(E.size()) >= n - 2 * t && static_cast<int>(F.size()) >= n - t)
+    return Star{std::move(E), std::move(F)};
+  return std::nullopt;
+}
+
+bool is_star(const Graph& g, const std::vector<int>& E, const std::vector<int>& F, int t) {
+  const int n = g.size();
+  if (static_cast<int>(E.size()) < n - 2 * t) return false;
+  if (static_cast<int>(F.size()) < n - t) return false;
+  auto valid_ids = [n](const std::vector<int>& s) {
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (int v : s) {
+      if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+    return true;
+  };
+  if (!valid_ids(E) || !valid_ids(F)) return false;
+  // E must be a subset of F.
+  for (int e : E)
+    if (std::find(F.begin(), F.end(), e) == F.end()) return false;
+  for (int e : E)
+    for (int f : F)
+      if (e != f && !g.has_edge(e, f)) return false;
+  return true;
+}
+
+}  // namespace bobw

@@ -1,0 +1,33 @@
+// AlgStar — finding an (n,t)-star in a consistency graph (paper §2.1, [13]).
+//
+// A pair (E, F), E ⊆ F ⊆ {0..n-1}, is an (n,t)-star of graph G if
+//   |E| >= n - 2t, |F| >= n - t, and every e in E is adjacent in G to every
+//   f in F (with e != f).
+// The algorithm: let H be the complement of G, M a maximum matching in H.
+//   E := unmatched vertices that are not "triangle vertices" (unmatched v
+//        with H-edges to both endpoints of some matching edge);
+//   F := vertices with no H-neighbour in E.
+// Whenever G contains a clique of size >= n - t this outputs a valid star.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/graph/matching.hpp"
+
+namespace bobw {
+
+struct Star {
+  std::vector<int> E;
+  std::vector<int> F;
+};
+
+/// Find an (n,t)-star of g, or nullopt if the construction's size checks
+/// fail (possible when g has no clique of size >= n - t yet).
+std::optional<Star> find_star(const Graph& g, int t);
+
+/// Check the star property of a candidate (E,F) against g — used by parties
+/// to validate a star broadcast by a (possibly corrupt) dealer.
+bool is_star(const Graph& g, const std::vector<int>& E, const std::vector<int>& F, int t);
+
+}  // namespace bobw

@@ -1,0 +1,154 @@
+#include "src/mpc/circuit.hpp"
+
+namespace bobw {
+
+int Circuit::push(Gate g) {
+  auto check = [this](int w) {
+    if (w < 0 || w >= num_wires()) throw std::invalid_argument("circuit: bad wire id");
+  };
+  if (g.op != Op::kInput) check(g.a);
+  if (g.op == Op::kAdd || g.op == Op::kSub || g.op == Op::kMul) check(g.b);
+  gates_.push_back(g);
+  return num_wires() - 1;
+}
+
+int Circuit::input(int party) {
+  if (party < 0 || party >= n_) throw std::invalid_argument("circuit: bad party");
+  if (input_wire_[static_cast<std::size_t>(party)] != -1)
+    throw std::invalid_argument("circuit: party already has an input wire");
+  int w = push({Op::kInput, -1, -1, Fp(0), party});
+  input_wire_[static_cast<std::size_t>(party)] = w;
+  return w;
+}
+
+void Circuit::set_output(int wire) {
+  outputs_.clear();
+  add_output(wire);
+}
+
+void Circuit::add_output(int wire) {
+  if (wire < 0 || wire >= num_wires()) throw std::invalid_argument("circuit: bad output wire");
+  outputs_.push_back(wire);
+}
+
+int Circuit::mult_count() const {
+  int c = 0;
+  for (const auto& g : gates_)
+    if (g.op == Op::kMul) ++c;
+  return c;
+}
+
+int Circuit::mult_depth() const {
+  std::vector<int> depth(gates_.size(), 0);
+  int best = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& g = gates_[i];
+    int d = 0;
+    if (g.op != Op::kInput) {
+      d = depth[static_cast<std::size_t>(g.a)];
+      if (g.op == Op::kAdd || g.op == Op::kSub || g.op == Op::kMul)
+        d = std::max(d, depth[static_cast<std::size_t>(g.b)]);
+      if (g.op == Op::kMul) ++d;
+    }
+    depth[i] = d;
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+int Circuit::input_wire(int party) const { return input_wire_[static_cast<std::size_t>(party)]; }
+
+Fp Circuit::eval_plain(const std::vector<Fp>& inputs) const {
+  return eval_outputs(inputs)[0];
+}
+
+std::vector<Fp> Circuit::eval_outputs(const std::vector<Fp>& inputs) const {
+  if (outputs_.empty()) throw std::logic_error("circuit: no output set");
+  std::vector<Fp> val(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& g = gates_[i];
+    switch (g.op) {
+      case Op::kInput:
+        val[i] = inputs[static_cast<std::size_t>(g.party)];
+        break;
+      case Op::kAdd:
+        val[i] = val[static_cast<std::size_t>(g.a)] + val[static_cast<std::size_t>(g.b)];
+        break;
+      case Op::kSub:
+        val[i] = val[static_cast<std::size_t>(g.a)] - val[static_cast<std::size_t>(g.b)];
+        break;
+      case Op::kAddConst:
+        val[i] = val[static_cast<std::size_t>(g.a)] + g.konst;
+        break;
+      case Op::kMulConst:
+        val[i] = val[static_cast<std::size_t>(g.a)] * g.konst;
+        break;
+      case Op::kMul:
+        val[i] = val[static_cast<std::size_t>(g.a)] * val[static_cast<std::size_t>(g.b)];
+        break;
+    }
+  }
+  std::vector<Fp> out;
+  out.reserve(outputs_.size());
+  for (int w : outputs_) out.push_back(val[static_cast<std::size_t>(w)]);
+  return out;
+}
+
+namespace circuits {
+
+Circuit sum_all(int n) {
+  Circuit c(n);
+  int acc = c.input(0);
+  for (int p = 1; p < n; ++p) acc = c.add(acc, c.input(p));
+  c.set_output(acc);
+  return c;
+}
+
+Circuit product_chain(int n) {
+  Circuit c(n);
+  int acc = c.input(0);
+  for (int p = 1; p < n; ++p) acc = c.mul(acc, c.input(p));
+  c.set_output(acc);
+  return c;
+}
+
+Circuit pairwise_sums_product(int n) {
+  Circuit c(n);
+  std::vector<int> in;
+  for (int p = 0; p < n; ++p) in.push_back(c.input(p));
+  int left = in[0], right = in[1 % n];
+  for (int p = 2; p < n; ++p) {
+    if (p % 2 == 0)
+      left = c.add(left, in[static_cast<std::size_t>(p)]);
+    else
+      right = c.add(right, in[static_cast<std::size_t>(p)]);
+  }
+  c.set_output(c.mul(left, right));
+  return c;
+}
+
+Circuit mult_chain(int n, int depth) {
+  Circuit c(n);
+  int acc = c.input(0);
+  for (int p = 1; p < n; ++p) acc = c.add(acc, c.input(p));
+  int cur = acc;
+  for (int d = 0; d < depth; ++d) cur = c.mul(cur, acc);
+  c.set_output(cur);
+  return c;
+}
+
+Circuit sum_of_squares(int n) {
+  Circuit c(n);
+  int acc = -1;
+  for (int p = 0; p < n; ++p) {
+    int x = c.input(p);
+    int sq = c.mul(x, x);
+    acc = acc < 0 ? sq : c.add(acc, sq);
+  }
+  c.set_output(acc);
+  return c;
+}
+
+}  // namespace circuits
+
+}  // namespace bobw

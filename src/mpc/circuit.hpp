@@ -1,0 +1,86 @@
+// Arithmetic circuit representation (paper §2): inputs x^(1)..x^(n), linear
+// gates (addition, addition/multiplication by public constants) and
+// multiplication gates, one public output. Built through a small builder
+// API; evaluated in the clear for reference checks and under sharing by
+// ΠCirEval.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/field/fp.hpp"
+
+namespace bobw {
+
+class Circuit {
+ public:
+  enum class Op { kInput, kAdd, kSub, kAddConst, kMulConst, kMul };
+
+  struct Gate {
+    Op op;
+    int a = -1, b = -1;  // operand wire ids
+    Fp konst;            // for kAddConst / kMulConst
+    int party = -1;      // for kInput
+  };
+
+  explicit Circuit(int n_parties) : n_(n_parties) {}
+
+  // ---- builder -------------------------------------------------------
+  /// Input wire carrying party p's private input (at most one per party).
+  int input(int party);
+  int add(int a, int b) { return push({Op::kAdd, a, b, Fp(0), -1}); }
+  int sub(int a, int b) { return push({Op::kSub, a, b, Fp(0), -1}); }
+  int add_const(int a, Fp k) { return push({Op::kAddConst, a, -1, k, -1}); }
+  int mul_const(int a, Fp k) { return push({Op::kMulConst, a, -1, k, -1}); }
+  int mul(int a, int b) { return push({Op::kMul, a, b, Fp(0), -1}); }
+  /// Declare the (single) output wire; replaces any previous outputs.
+  void set_output(int wire);
+  /// Append an additional public output wire (multi-output circuits are an
+  /// extension beyond the paper's f: F^n -> F; the output stage opens all
+  /// of them in one batch).
+  void add_output(int wire);
+
+  // ---- introspection -------------------------------------------------
+  int n_parties() const { return n_; }
+  int num_wires() const { return static_cast<int>(gates_.size()); }
+  /// First output wire (-1 if none) — the common single-output case.
+  int output() const { return outputs_.empty() ? -1 : outputs_[0]; }
+  const std::vector<int>& outputs() const { return outputs_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  /// c_M — number of multiplication gates.
+  int mult_count() const;
+  /// D_M — multiplicative depth.
+  int mult_depth() const;
+  /// Wire carrying party p's input, or -1.
+  int input_wire(int party) const;
+
+  /// Reference evaluation in the clear (first output).
+  Fp eval_plain(const std::vector<Fp>& inputs) const;
+  /// Reference evaluation of every declared output.
+  std::vector<Fp> eval_outputs(const std::vector<Fp>& inputs) const;
+
+ private:
+  int push(Gate g);
+  int n_;
+  std::vector<Gate> gates_;
+  std::vector<int> input_wire_ = std::vector<int>(static_cast<std::size_t>(n_), -1);
+  std::vector<int> outputs_;
+};
+
+/// Ready-made circuits used by examples, tests and benches.
+namespace circuits {
+
+/// (x_0 + x_1 + ... ) — no multiplications.
+Circuit sum_all(int n);
+/// Product of all inputs — depth ⌈log2 n⌉-ish chain (here: left fold, depth n−1).
+Circuit product_chain(int n);
+/// (x_0 + x_1) * (x_2 + x_3) + ... pairwise: one multiplication layer.
+Circuit pairwise_sums_product(int n);
+/// A depth-`depth` chain of multiplications fed by the sum of all inputs.
+Circuit mult_chain(int n, int depth);
+/// Sum of squares: Σ x_i² (n multiplications, depth 1).
+Circuit sum_of_squares(int n);
+
+}  // namespace circuits
+
+}  // namespace bobw

@@ -1,0 +1,151 @@
+#include "src/mpc/circuit_io.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace bobw {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;  // comment until end of line
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (v > (~0ULL - 9) / 10) return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+Circuit parse_circuit(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  std::optional<Circuit> cir;
+  std::map<std::string, int> wires;
+  bool has_output = false;
+
+  auto wire = [&](const std::string& name, int ln) {
+    auto it = wires.find(name);
+    if (it == wires.end()) throw CircuitParseError(ln, "unknown wire '" + name + "'");
+    return it->second;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "circuit") {
+      if (cir) throw CircuitParseError(line_no, "duplicate 'circuit' header");
+      if (toks.size() != 2) throw CircuitParseError(line_no, "usage: circuit <n>");
+      auto nv = parse_u64(toks[1]);
+      if (!nv || *nv < 1 || *nv > 1024) throw CircuitParseError(line_no, "bad party count");
+      cir.emplace(static_cast<int>(*nv));
+      continue;
+    }
+    if (!cir) throw CircuitParseError(line_no, "'circuit <n>' header must come first");
+
+    if (toks[0] == "output") {
+      if (toks.size() < 2) throw CircuitParseError(line_no, "usage: output <wire>...");
+      for (std::size_t k = 1; k < toks.size(); ++k) cir->add_output(wire(toks[k], line_no));
+      has_output = true;
+      continue;
+    }
+
+    // <wire> = <op> ...
+    if (toks.size() < 3 || toks[1] != "=")
+      throw CircuitParseError(line_no, "expected '<wire> = <op> ...'");
+    const std::string& name = toks[0];
+    if (wires.count(name)) throw CircuitParseError(line_no, "wire '" + name + "' redefined");
+    const std::string& op = toks[2];
+    auto need = [&](std::size_t k) {
+      if (toks.size() != k) throw CircuitParseError(line_no, "wrong operand count for " + op);
+    };
+    int w;
+    try {
+      if (op == "input") {
+        need(4);
+        auto p = parse_u64(toks[3]);
+        if (!p) throw CircuitParseError(line_no, "bad party id");
+        w = cir->input(static_cast<int>(*p));
+      } else if (op == "add") {
+        need(5);
+        w = cir->add(wire(toks[3], line_no), wire(toks[4], line_no));
+      } else if (op == "sub") {
+        need(5);
+        w = cir->sub(wire(toks[3], line_no), wire(toks[4], line_no));
+      } else if (op == "mul") {
+        need(5);
+        w = cir->mul(wire(toks[3], line_no), wire(toks[4], line_no));
+      } else if (op == "addc" || op == "mulc") {
+        need(5);
+        auto k = parse_u64(toks[4]);
+        if (!k) throw CircuitParseError(line_no, "bad constant");
+        w = op == "addc" ? cir->add_const(wire(toks[3], line_no), Fp(*k))
+                         : cir->mul_const(wire(toks[3], line_no), Fp(*k));
+      } else {
+        throw CircuitParseError(line_no, "unknown op '" + op + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw CircuitParseError(line_no, e.what());
+    }
+    wires[name] = w;
+  }
+  if (!cir) throw CircuitParseError(line_no, "missing 'circuit <n>' header");
+  if (!has_output) throw CircuitParseError(line_no, "missing 'output' statement");
+  return *cir;
+}
+
+std::string format_circuit(const Circuit& cir) {
+  std::ostringstream os;
+  os << "circuit " << cir.n_parties() << "\n";
+  const auto& gates = cir.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const auto& g = gates[i];
+    os << "w" << i << " = ";
+    switch (g.op) {
+      case Circuit::Op::kInput:
+        os << "input " << g.party;
+        break;
+      case Circuit::Op::kAdd:
+        os << "add w" << g.a << " w" << g.b;
+        break;
+      case Circuit::Op::kSub:
+        os << "sub w" << g.a << " w" << g.b;
+        break;
+      case Circuit::Op::kAddConst:
+        os << "addc w" << g.a << " " << g.konst.value();
+        break;
+      case Circuit::Op::kMulConst:
+        os << "mulc w" << g.a << " " << g.konst.value();
+        break;
+      case Circuit::Op::kMul:
+        os << "mul w" << g.a << " w" << g.b;
+        break;
+    }
+    os << "\n";
+  }
+  os << "output";
+  for (int w : cir.outputs()) os << " w" << w;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace bobw

@@ -1,0 +1,45 @@
+// Text serialisation for arithmetic circuits — lets users describe the
+// function to compute in a file and feed it to the CLI driver (examples/
+// bobw_cli) without recompiling.
+//
+// Format (one statement per line, '#' comments, wires are named):
+//   circuit <n_parties>
+//   <wire> = input <party>
+//   <wire> = add <wire> <wire>
+//   <wire> = sub <wire> <wire>
+//   <wire> = addc <wire> <constant>
+//   <wire> = mulc <wire> <constant>
+//   <wire> = mul <wire> <wire>
+//   output <wire> [<wire> ...]
+//
+// Example — the quickstart circuit (x0+x1)*(x2+x3):
+//   circuit 4
+//   a = input 0
+//   b = input 1
+//   c = input 2
+//   d = input 3
+//   s = add a b
+//   t = add c d
+//   y = mul s t
+//   output y
+#pragma once
+
+#include <string>
+
+#include "src/mpc/circuit.hpp"
+
+namespace bobw {
+
+struct CircuitParseError : std::runtime_error {
+  CircuitParseError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what), line_no(line) {}
+  int line_no;
+};
+
+/// Parse the text format above. Throws CircuitParseError on malformed input.
+Circuit parse_circuit(const std::string& text);
+
+/// Serialise a circuit back to the text format (wires named w0, w1, ...).
+std::string format_circuit(const Circuit& cir);
+
+}  // namespace bobw

@@ -1,0 +1,42 @@
+#include "src/mpc/sharing.hpp"
+
+#include "src/vss/wire.hpp"
+
+namespace bobw {
+
+Reconstruct::Reconstruct(Party& party, std::string id, int L, const Ctx& ctx, Handler on_values)
+    : Instance(party, std::move(id)), L_(L), ctx_(ctx), on_values_(std::move(on_values)) {
+  seen_.assign(static_cast<std::size_t>(n()), 0);
+  for (int l = 0; l < L_; ++l)
+    oecs_.push_back(std::make_unique<Oec>(ctx_.ts, ctx_.ts));
+}
+
+void Reconstruct::start(const std::vector<Fp>& my_shares) {
+  send_all(0, wire::encode_points(my_shares));
+}
+
+void Reconstruct::on_message(const Msg& m) {
+  if (m.type != 0 || done_) return;
+  if (seen_[static_cast<std::size_t>(m.from)]) return;
+  auto pts = wire::decode_points(m.body, L_);
+  if (!pts) return;
+  seen_[static_cast<std::size_t>(m.from)] = 1;
+  feed(m.from, *pts);
+}
+
+void Reconstruct::feed(int from, const std::vector<Fp>& shares) {
+  bool all_done = true;
+  for (int l = 0; l < L_; ++l) {
+    auto& oec = *oecs_[static_cast<std::size_t>(l)];
+    if (!oec.done()) oec.add_point(alpha(from), shares[static_cast<std::size_t>(l)]);
+    all_done = all_done && oec.done();
+  }
+  if (!all_done) return;
+  done_ = true;
+  values_.reserve(static_cast<std::size_t>(L_));
+  for (int l = 0; l < L_; ++l)
+    values_.push_back(oecs_[static_cast<std::size_t>(l)]->result()->eval(Fp(0)));
+  if (on_values_) on_values_(values_);
+}
+
+}  // namespace bobw

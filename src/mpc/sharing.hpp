@@ -1,0 +1,52 @@
+// Share-level plumbing: triple shares and batched public reconstruction.
+//
+// Public reconstruction of ts-shared values (used by ΠBeaver, the γ /
+// suspected-triple openings of ΠTripSh and the output stage of ΠCirEval)
+// follows the paper's pattern: every party sends its share to everyone and
+// applies OEC(ts, ts, P) to the received shares.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/timing.hpp"
+#include "src/field/fp.hpp"
+#include "src/rs/oec.hpp"
+#include "src/sim/instance.hpp"
+
+namespace bobw {
+
+/// A party's shares of one multiplication triple (a, b, c).
+struct TripleShare {
+  Fp a, b, c;
+};
+
+/// Batched public reconstruction of L ts-shared values towards all parties.
+class Reconstruct : public Instance {
+ public:
+  using Handler = std::function<void(const std::vector<Fp>&)>;
+
+  Reconstruct(Party& party, std::string id, int L, const Ctx& ctx, Handler on_values);
+
+  /// Contribute this party's L shares (starts the exchange).
+  void start(const std::vector<Fp>& my_shares);
+
+  bool done() const { return done_; }
+  const std::vector<Fp>& values() const { return values_; }
+
+  void on_message(const Msg& m) override;
+
+ private:
+  void feed(int from, const std::vector<Fp>& shares);
+
+  int L_;
+  Ctx ctx_;
+  Handler on_values_;
+  std::vector<std::unique_ptr<Oec>> oecs_;
+  std::vector<char> seen_;
+  std::vector<Fp> values_;
+  bool done_ = false;
+};
+
+}  // namespace bobw

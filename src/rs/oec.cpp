@@ -1,0 +1,36 @@
+#include "src/rs/oec.hpp"
+
+#include "src/rs/reed_solomon.hpp"
+
+namespace bobw {
+
+Oec::Oec(int d, int t) : d_(d), t_(t) {}
+
+std::optional<Poly> Oec::add_point(Fp x, Fp y) {
+  if (result_) return std::nullopt;
+  for (auto& seen : xs_)
+    if (seen == x) return std::nullopt;  // one point per contributor
+  xs_.push_back(x);
+  ys_.push_back(y);
+  return try_decode();
+}
+
+std::optional<Poly> Oec::try_decode() {
+  const int m = points_received();
+  if (m < d_ + t_ + 1) return std::nullopt;
+  // With r = m - (d_ + t_ + 1) points beyond the minimum, up to r of the
+  // received points can be erroneous while still leaving d+t+1 honest
+  // agreeing points; BW with e = floor((m - d - 1) / 2) covers every case
+  // where errors <= t and m >= d + t + 1 + errors.
+  const int e_max = std::min(t_, (m - d_ - 1) / 2);
+  for (int e = e_max; e >= 0; --e) {
+    auto q = rs_decode(d_, e, xs_, ys_);
+    if (q && count_agreements(*q, xs_, ys_) >= d_ + t_ + 1) {
+      result_ = q;
+      return result_;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bobw

@@ -1,0 +1,39 @@
+// Online Error Correction, OEC(d, t, P') — paper §2.1 and Appendix A.
+//
+// Points on a degree-<=d polynomial q arrive one at a time from the parties
+// in P' (at most t of which are corrupt). After every arrival the receiver
+// re-runs RS error correction; it accepts the first degree-<=d polynomial
+// that agrees with at least d + t + 1 of the received points — those must
+// include d+1 honest points, which pin q down uniquely.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/field/fp.hpp"
+#include "src/field/poly.hpp"
+
+namespace bobw {
+
+class Oec {
+ public:
+  /// d: polynomial degree bound; t: corruption bound among contributors.
+  Oec(int d, int t);
+
+  /// Feed one point (x = alpha of the contributing party). Duplicate x values
+  /// from the same sender are ignored (first wins). Returns the recovered
+  /// polynomial the first time recovery succeeds, nullopt otherwise.
+  std::optional<Poly> add_point(Fp x, Fp y);
+
+  bool done() const { return result_.has_value(); }
+  const std::optional<Poly>& result() const { return result_; }
+  int points_received() const { return static_cast<int>(xs_.size()); }
+
+ private:
+  std::optional<Poly> try_decode();
+  int d_, t_;
+  std::vector<Fp> xs_, ys_;
+  std::optional<Poly> result_;
+};
+
+}  // namespace bobw

@@ -1,0 +1,126 @@
+#include "src/rs/reed_solomon.hpp"
+
+#include <stdexcept>
+
+namespace bobw {
+
+std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
+                                            std::vector<Fp> b) {
+  const std::size_t m = A.size();
+  const std::size_t n = m == 0 ? 0 : A[0].size();
+  std::vector<int> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m; ++col) {
+    std::size_t sel = row;
+    while (sel < m && A[sel][col].is_zero()) ++sel;
+    if (sel == m) continue;
+    std::swap(A[sel], A[row]);
+    std::swap(b[sel], b[row]);
+    Fp inv = A[row][col].inv();
+    for (std::size_t j = col; j < n; ++j) A[row][j] *= inv;
+    b[row] *= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == row || A[r][col].is_zero()) continue;
+      Fp f = A[r][col];
+      for (std::size_t j = col; j < n; ++j) A[r][j] -= f * A[row][j];
+      b[r] -= f * b[row];
+    }
+    pivot_col_of_row.push_back(static_cast<int>(col));
+    ++row;
+  }
+  // Inconsistency check: zero row with non-zero rhs.
+  for (std::size_t r = row; r < m; ++r)
+    if (!b[r].is_zero()) return std::nullopt;
+  std::vector<Fp> x(n, Fp(0));  // free variables = 0
+  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+    int pc = pivot_col_of_row[r];
+    Fp v = b[r];
+    for (std::size_t j = static_cast<std::size_t>(pc) + 1; j < n; ++j)
+      v -= A[r][j] * x[j];
+    x[static_cast<std::size_t>(pc)] = v;
+  }
+  return x;
+}
+
+std::optional<Poly> rs_decode(int d, int e, const std::vector<Fp>& xs,
+                              const std::vector<Fp>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("rs_decode: size mismatch");
+  const int m = static_cast<int>(xs.size());
+  if (e < 0 || m < d + 1) return std::nullopt;
+  if (e == 0) {
+    // Plain interpolation on the first d+1 points, then verify all.
+    std::vector<Fp> x0(xs.begin(), xs.begin() + d + 1);
+    std::vector<Fp> y0(ys.begin(), ys.begin() + d + 1);
+    Poly q = Poly::interpolate(x0, y0);
+    if (count_agreements(q, xs, ys) == m && q.degree() <= d) return q;
+    return std::nullopt;
+  }
+  // Berlekamp–Welch: find E(x) monic of degree e and Q(x) of degree <= d+e-1
+  // ... actually deg Q <= d + e, with Q(x_k) = y_k * E(x_k) for all k.
+  // Unknowns: E coefficients e_0..e_{e-1} (monic leading term), Q
+  // coefficients q_0..q_{d+e}. Equations: one per point.
+  const int nq = d + e + 1;
+  const int ne = e;  // e_0..e_{e-1}
+  std::vector<std::vector<Fp>> A(static_cast<std::size_t>(m),
+                                 std::vector<Fp>(static_cast<std::size_t>(nq + ne), Fp(0)));
+  std::vector<Fp> rhs(static_cast<std::size_t>(m), Fp(0));
+  for (int k = 0; k < m; ++k) {
+    Fp xp(1);
+    for (int j = 0; j < nq; ++j) {
+      A[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = xp;
+      xp *= xs[static_cast<std::size_t>(k)];
+    }
+    // -y_k * (e_0 + e_1 x + ... + e_{e-1} x^{e-1}) on the lhs,
+    // y_k * x^e on the rhs (monic term).
+    Fp xe(1);
+    for (int j = 0; j < ne; ++j) {
+      A[static_cast<std::size_t>(k)][static_cast<std::size_t>(nq + j)] =
+          -(ys[static_cast<std::size_t>(k)] * xe);
+      xe *= xs[static_cast<std::size_t>(k)];
+    }
+    rhs[static_cast<std::size_t>(k)] = ys[static_cast<std::size_t>(k)] * xe;
+  }
+  auto sol = solve_linear(std::move(A), std::move(rhs));
+  if (!sol) return std::nullopt;
+  std::vector<Fp> qc(sol->begin(), sol->begin() + nq);
+  std::vector<Fp> ec(sol->begin() + nq, sol->end());
+  ec.push_back(Fp(1));  // monic
+  Poly Q(std::move(qc)), E(std::move(ec));
+  // Polynomial division Q / E; remainder must be zero.
+  // Synthetic long division.
+  std::vector<Fp> num = Q.coeffs();
+  const auto& den = E.coeffs();
+  if (den.empty()) return std::nullopt;
+  int dn = static_cast<int>(num.size()) - 1;
+  int dd = static_cast<int>(den.size()) - 1;
+  if (dn < dd) {
+    // Q identically smaller than E: only consistent if Q == 0 (then q == 0).
+    for (auto c : num)
+      if (!c.is_zero()) return std::nullopt;
+    return Poly();
+  }
+  std::vector<Fp> quot(static_cast<std::size_t>(dn - dd) + 1, Fp(0));
+  Fp lead_inv = den.back().inv();
+  for (int i = dn - dd; i >= 0; --i) {
+    Fp f = num[static_cast<std::size_t>(i + dd)] * lead_inv;
+    quot[static_cast<std::size_t>(i)] = f;
+    if (f.is_zero()) continue;
+    for (int j = 0; j <= dd; ++j)
+      num[static_cast<std::size_t>(i + j)] -= f * den[static_cast<std::size_t>(j)];
+  }
+  for (auto c : num)
+    if (!c.is_zero()) return std::nullopt;  // E does not divide Q
+  Poly q(std::move(quot));
+  if (q.degree() > d) return std::nullopt;
+  return q;
+}
+
+int count_agreements(const Poly& q, const std::vector<Fp>& xs,
+                     const std::vector<Fp>& ys) {
+  int cnt = 0;
+  for (std::size_t k = 0; k < xs.size(); ++k)
+    if (q.eval(xs[k]) == ys[k]) ++cnt;
+  return cnt;
+}
+
+}  // namespace bobw

@@ -1,0 +1,31 @@
+// Reed–Solomon decoding via the Berlekamp–Welch algorithm (paper §2.1 cites
+// RS error correction [42] as the engine inside Online Error Correction).
+//
+// Given points (x_k, y_k) of which at most e are corrupted and the rest lie
+// on a degree-<=d polynomial q, recover q provided |points| >= d + 2e + 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/field/fp.hpp"
+#include "src/field/poly.hpp"
+
+namespace bobw {
+
+/// Attempt to decode a degree-<=d polynomial from the given points assuming
+/// at most `e` errors. Returns nullopt if no such polynomial exists (or the
+/// linear system is inconsistent). xs must be distinct.
+std::optional<Poly> rs_decode(int d, int e, const std::vector<Fp>& xs,
+                              const std::vector<Fp>& ys);
+
+/// Count how many of the points lie on q.
+int count_agreements(const Poly& q, const std::vector<Fp>& xs,
+                     const std::vector<Fp>& ys);
+
+/// Solve A x = b over F_p by Gaussian elimination. A is row-major m x n,
+/// b has length m. Returns any solution, or nullopt if inconsistent.
+std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
+                                            std::vector<Fp> b);
+
+}  // namespace bobw

@@ -1,0 +1,5 @@
+#include "src/sim/adversary.hpp"
+
+// Behavioural adversaries that need protocol knowledge live next to the
+// protocols they attack (see tests); the base classes here are header-only.
+namespace bobw {}

@@ -1,0 +1,53 @@
+// Byzantine adversary model (paper §2): a static adversary corrupting a fixed
+// subset of parties. Corrupt parties either stay silent (crash-style worst
+// case for liveness) or run the honest code while the adversary intercepts
+// and mutates their outgoing traffic (active attacks). In the asynchronous
+// network the adversary additionally controls message scheduling through
+// `delay_override`.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "src/common/rng.hpp"
+#include "src/sim/message.hpp"
+
+namespace bobw {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  void corrupt(int party) { corrupt_.insert(party); }
+  bool is_corrupt(int party) const { return corrupt_.count(party) != 0; }
+  const std::set<int>& corrupt_set() const { return corrupt_; }
+
+  /// Should the corrupt party run the honest protocol code (true) or stay
+  /// completely silent (false)? Active attacks subclass and mutate traffic.
+  virtual bool participates(int /*party*/) const { return false; }
+
+  /// Called for every message sent by a corrupt party that runs protocol
+  /// code. Return false to drop the message; the message may be mutated.
+  virtual bool filter_outgoing(Msg& /*m*/, Rng& /*rng*/) { return true; }
+
+  /// Adversarial scheduler hook: override the network delay of any message
+  /// (the paper gives the asynchronous scheduler to the adversary).
+  virtual std::optional<Tick> delay_override(const Msg& /*m*/) { return std::nullopt; }
+
+ private:
+  std::set<int> corrupt_;
+};
+
+/// Corrupt parties crash at time zero: they never send anything. This is the
+/// canonical liveness adversary (a party that never sends is indistinguishable
+/// from a slow one in the asynchronous model — paper §1).
+class CrashAdversary : public Adversary {};
+
+/// Corrupt parties run the honest code unmodified ("passive"/semi-honest);
+/// used to exercise privacy-irrelevant paths with full participation.
+class PassiveAdversary : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+};
+
+}  // namespace bobw

@@ -1,0 +1,33 @@
+#include "src/sim/events.hpp"
+
+#include <utility>
+
+namespace bobw {
+
+void EventQueue::at(Tick time, Pri pri, std::function<void()> fn) {
+  if (time < now_) time = now_;  // never schedule into the past
+  heap_.push(Ev{time, pri, seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the closure handle (shared state is cheap — std::function small).
+  Ev ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run(Tick max_time, std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty() && executed < max_events) {
+    if (heap_.top().time > max_time) break;
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace bobw

@@ -1,0 +1,61 @@
+// Discrete-event core: a deterministic min-heap of timestamped closures.
+// Ties are broken by insertion sequence so runs are fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bobw {
+
+/// Simulation time. The network bound Δ is expressed in ticks.
+using Tick = std::uint64_t;
+
+/// Smallest multiple of `delta` that is >= t (the paper's "wait till local
+/// time becomes a multiple of Δ").
+inline Tick next_multiple(Tick t, Tick delta) {
+  if (delta == 0) return t;
+  Tick r = t % delta;
+  return r == 0 ? t : t + (delta - r);
+}
+
+class EventQueue {
+ public:
+  /// Priority classes within one tick: message deliveries run before protocol
+  /// timers, so "messages sent Δ ago" are visible to a deadline firing at
+  /// exactly that tick (the paper's round structure assumes this).
+  enum Pri { kDelivery = 0, kTimer = 1 };
+
+  void at(Tick time, std::function<void()> fn) { at(time, kTimer, std::move(fn)); }
+  void at(Tick time, Pri pri, std::function<void()> fn);
+
+  Tick now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Pop and execute the earliest event. Returns false when queue is empty.
+  bool step();
+
+  /// Run until the queue drains, `max_time` is passed, or `max_events`
+  /// events have executed. Returns the number of events executed.
+  std::uint64_t run(Tick max_time = ~Tick{0}, std::uint64_t max_events = ~std::uint64_t{0});
+
+ private:
+  struct Ev {
+    Tick time;
+    int pri;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Ev& o) const {
+      if (time != o.time) return time > o.time;
+      if (pri != o.pri) return pri > o.pri;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace bobw

@@ -1,0 +1,11 @@
+#include "src/sim/instance.hpp"
+
+namespace bobw {
+
+Instance::Instance(Party& party, std::string id) : party_(party), id_(std::move(id)) {
+  party_.register_instance(this);
+}
+
+Instance::~Instance() { party_.unregister_instance(id()); }
+
+}  // namespace bobw

@@ -1,0 +1,44 @@
+// Base class for protocol instances. An instance registers itself under its
+// id at construction and receives every message addressed to that id.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/sim/party.hpp"
+
+namespace bobw {
+
+class Instance {
+ public:
+  Instance(Party& party, std::string id);
+  virtual ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  const std::string& id() const { return id_; }
+  Party& party() { return party_; }
+  int self() const { return party_.id(); }
+  int n() const { return party_.n(); }
+  Tick now() const { return party_.now(); }
+
+  virtual void on_message(const Msg& m) = 0;
+
+ protected:
+  void send(int to, int type, const Bytes& body) { party_.send(to, id_, type, body); }
+  void send_all(int type, const Bytes& body) { party_.send_all(id_, type, body); }
+  void at(Tick time, std::function<void()> fn) { party_.at(time, std::move(fn)); }
+
+  Party& party_;
+
+ private:
+  std::string id_;
+};
+
+/// Child id helper: parent "vss:2" + "wps:5" -> "vss:2/wps:5".
+inline std::string sub_id(const std::string& parent, const std::string& child) {
+  return parent + "/" + child;
+}
+
+}  // namespace bobw

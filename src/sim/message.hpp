@@ -1,0 +1,27 @@
+// Network message. Every protocol message is addressed to a hierarchical
+// instance id (e.g. "vss:2/wps:5/ok:3:7/acast") plus a small integer type
+// understood by that instance.
+#pragma once
+
+#include <string>
+
+#include "src/common/codec.hpp"
+#include "src/sim/events.hpp"
+
+namespace bobw {
+
+struct Msg {
+  int from = -1;
+  int to = -1;
+  std::string inst;
+  int type = 0;
+  Bytes body;
+  Tick sent_at = 0;
+
+  /// Wire size in bits, the unit of the paper's communication bounds.
+  /// Header overhead (routing/type) is charged at a flat 8 bytes; instance
+  /// ids are simulation artefacts and are not charged.
+  std::size_t bits() const { return (body.size() + 8) * 8; }
+};
+
+}  // namespace bobw

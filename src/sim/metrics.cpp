@@ -1,0 +1,20 @@
+#include "src/sim/metrics.hpp"
+
+namespace bobw {
+
+void Metrics::record_send(const Msg& m, bool honest_sender) {
+  ++total_msgs_;
+  if (!honest_sender) return;
+  ++honest_msgs_;
+  honest_bits_ += m.bits();
+  auto slash = m.inst.find('/');
+  std::string label = slash == std::string::npos ? m.inst : m.inst.substr(0, slash);
+  by_label_[label] += m.bits();
+}
+
+void Metrics::reset() {
+  honest_msgs_ = honest_bits_ = total_msgs_ = 0;
+  by_label_.clear();
+}
+
+}  // namespace bobw

@@ -1,0 +1,34 @@
+// Communication metering: counts messages/bits sent by honest parties,
+// overall and per top-level protocol label — the quantities compared against
+// the paper's complexity theorems in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/message.hpp"
+
+namespace bobw {
+
+class Metrics {
+ public:
+  void record_send(const Msg& m, bool honest_sender);
+
+  std::uint64_t honest_msgs() const { return honest_msgs_; }
+  std::uint64_t honest_bits() const { return honest_bits_; }
+  std::uint64_t total_msgs() const { return total_msgs_; }
+
+  /// Honest bits per top-level instance label (prefix before first '/').
+  const std::map<std::string, std::uint64_t>& honest_bits_by_label() const {
+    return by_label_;
+  }
+
+  void reset();
+
+ private:
+  std::uint64_t honest_msgs_ = 0, honest_bits_ = 0, total_msgs_ = 0;
+  std::map<std::string, std::uint64_t> by_label_;
+};
+
+}  // namespace bobw

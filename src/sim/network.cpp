@@ -1,0 +1,16 @@
+#include "src/sim/network.hpp"
+
+namespace bobw {
+
+DelayModel::DelayModel(NetConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+Tick DelayModel::delay_for(const Msg&) {
+  if (cfg_.mode == NetMode::kSynchronous) {
+    if (cfg_.sync_min_delay >= cfg_.delta) return cfg_.delta;
+    return rng_.next_range(cfg_.sync_min_delay, cfg_.delta);
+  }
+  if (cfg_.async_max <= cfg_.async_min) return cfg_.async_min;
+  return rng_.next_range(cfg_.async_min, cfg_.async_max);
+}
+
+}  // namespace bobw

@@ -1,0 +1,40 @@
+// The two network types of the paper (§2):
+//  * synchronous  — every message delivered within a known bound Δ;
+//  * asynchronous — arbitrary finite delays, order controlled by a scheduler
+//    that the adversary may own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.hpp"
+#include "src/sim/message.hpp"
+
+namespace bobw {
+
+enum class NetMode { kSynchronous, kAsynchronous };
+
+struct NetConfig {
+  NetMode mode = NetMode::kSynchronous;
+  Tick delta = 1000;      // Δ, the public synchronous bound
+  // Synchronous: delay drawn uniformly from [sync_min_delay, delta].
+  Tick sync_min_delay = 1000;  // default: exactly Δ (worst case, round-crisp)
+  // Asynchronous: delay drawn uniformly from [async_min, async_max]; the
+  // bound Δ is meaningless to the network (parties still use it in timeouts).
+  Tick async_min = 1;
+  Tick async_max = 4000;  // default: frequently exceeds Δ
+};
+
+/// Draws per-message delays. Deterministic given the RNG stream.
+class DelayModel {
+ public:
+  explicit DelayModel(NetConfig cfg, std::uint64_t seed);
+  Tick delay_for(const Msg& m);
+  const NetConfig& config() const { return cfg_; }
+
+ private:
+  NetConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace bobw

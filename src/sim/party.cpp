@@ -1,0 +1,104 @@
+#include "src/sim/party.hpp"
+
+#include <cassert>
+
+#include "src/sim/instance.hpp"
+
+namespace bobw {
+
+Party::Party(Sim& sim, int id, bool honest, Rng rng)
+    : sim_(&sim), id_(id), honest_(honest), rng_(rng) {}
+
+Party::~Party() = default;
+
+int Party::n() const { return sim_->n(); }
+Tick Party::now() const { return sim_->now(); }
+
+void Party::at(Tick time, std::function<void()> fn) {
+  sim_->queue().at(time, [this, f = std::move(fn)]() {
+    if (!halted_) f();
+  });
+}
+
+void Party::send(int to, const std::string& inst, int type, Bytes body) {
+  if (halted_) return;
+  Msg m;
+  m.from = id_;
+  m.to = to;
+  m.inst = inst;
+  m.type = type;
+  m.body = std::move(body);
+  m.sent_at = now();
+  sim_->post(std::move(m));
+}
+
+void Party::send_all(const std::string& inst, int type, const Bytes& body) {
+  for (int to = 0; to < n(); ++to) send(to, inst, type, body);
+}
+
+void Party::register_instance(Instance* inst) {
+  auto [it, fresh] = instances_.emplace(inst->id(), inst);
+  assert(fresh && "duplicate instance id");
+  (void)it;
+  (void)fresh;
+  auto pend = pending_.find(inst->id());
+  if (pend != pending_.end()) {
+    // Deliver buffered messages as an immediate event: the instance is still
+    // inside its constructor here (virtual dispatch would be unsafe), and
+    // "delivery happens as an event" keeps ordering semantics uniform.
+    auto msgs = std::move(pend->second);
+    pending_.erase(pend);
+    sim_->queue().at(now(), EventQueue::kDelivery,
+                     [this, id = inst->id(), ms = std::move(msgs)]() {
+                       auto it = instances_.find(id);
+                       if (it == instances_.end()) return;
+                       for (const auto& m : ms)
+                         if (!halted_) it->second->on_message(m);
+                     });
+  }
+}
+
+void Party::unregister_instance(const std::string& id) { instances_.erase(id); }
+
+void Party::deliver(const Msg& m) {
+  if (halted_) return;
+  auto it = instances_.find(m.inst);
+  if (it == instances_.end()) {
+    pending_[m.inst].push_back(m);
+    return;
+  }
+  it->second->on_message(m);
+}
+
+Sim::Sim(int n, NetConfig net, std::uint64_t seed, std::shared_ptr<Adversary> adversary)
+    : n_(n),
+      delay_(net, mix64(seed ^ 0xD31A7ULL)),
+      rng_(mix64(seed)),
+      adversary_(std::move(adversary)) {
+  parties_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    parties_.push_back(std::make_unique<Party>(*this, i, honest(i), rng_.fork(static_cast<std::uint64_t>(i))));
+}
+
+bool Sim::honest(int i) const { return !adversary_ || !adversary_->is_corrupt(i); }
+
+void Sim::post(Msg m) {
+  if (adversary_ && adversary_->is_corrupt(m.from)) {
+    if (!adversary_->filter_outgoing(m, rng_)) return;
+  }
+  metrics_.record_send(m, honest(m.from));
+  Tick delay = delay_.delay_for(m);
+  if (adversary_) {
+    if (auto d = adversary_->delay_override(m)) delay = *d;
+  }
+  Tick arrive = queue_.now() + (delay == 0 ? 1 : delay);  // delivery strictly later
+  queue_.at(arrive, EventQueue::kDelivery, [this, msg = std::move(m)]() {
+    parties_[static_cast<std::size_t>(msg.to)]->deliver(msg);
+  });
+}
+
+std::uint64_t Sim::run(Tick max_time, std::uint64_t max_events) {
+  return queue_.run(max_time, max_events);
+}
+
+}  // namespace bobw

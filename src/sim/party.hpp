@@ -1,0 +1,108 @@
+// Party and Sim: the runtime that hosts protocol instances.
+//
+// A Sim owns n parties, the event queue, the delay model, the adversary and
+// the metrics. A Party owns a registry of protocol Instances addressed by
+// hierarchical string ids; messages for instances that have not registered
+// yet are buffered and flushed on registration (asynchronous protocols may
+// receive messages "from the future" of their local schedule).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/adversary.hpp"
+#include "src/sim/events.hpp"
+#include "src/sim/message.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/network.hpp"
+
+namespace bobw {
+
+class Instance;
+class Sim;
+
+class Party {
+ public:
+  Party(Sim& sim, int id, bool honest, Rng rng);
+  ~Party();
+
+  int id() const { return id_; }
+  bool honest() const { return honest_; }
+  Sim& sim() { return *sim_; }
+  Rng& rng() { return rng_; }
+  int n() const;
+  Tick now() const;
+
+  /// Local-clock timer (local time == simulation time; the paper's protocols
+  /// only use local timers, never a shared clock, in the asynchronous case).
+  void at(Tick time, std::function<void()> fn);
+
+  /// Send a point-to-point message over the pairwise channel.
+  void send(int to, const std::string& inst, int type, Bytes body);
+  /// Send to every party, self included (the paper's "send to all parties").
+  void send_all(const std::string& inst, int type, const Bytes& body);
+
+  void register_instance(Instance* inst);
+  void unregister_instance(const std::string& id);
+  void deliver(const Msg& m);
+
+  /// A terminated party stops processing and sending (ΠCirEval termination
+  /// phase: "terminate all the sub-protocols").
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+  /// Root-level session objects owned by this party (keeps them alive for
+  /// the duration of the run).
+  void own(std::shared_ptr<void> session) { owned_.push_back(std::move(session)); }
+
+ private:
+  Sim* sim_;
+  int id_;
+  bool honest_;
+  bool halted_ = false;
+  Rng rng_;
+  std::unordered_map<std::string, Instance*> instances_;
+  std::unordered_map<std::string, std::vector<Msg>> pending_;
+  std::vector<std::shared_ptr<void>> owned_;
+};
+
+class Sim {
+ public:
+  /// `adversary` may be null (all parties honest). The adversary's corrupt
+  /// set decides which parties are honest.
+  Sim(int n, NetConfig net, std::uint64_t seed, std::shared_ptr<Adversary> adversary = nullptr);
+
+  int n() const { return n_; }
+  Party& party(int i) { return *parties_[static_cast<std::size_t>(i)]; }
+  EventQueue& queue() { return queue_; }
+  Metrics& metrics() { return metrics_; }
+  Adversary* adversary() { return adversary_.get(); }
+  const NetConfig& net() const { return delay_.config(); }
+  Tick delta() const { return delay_.config().delta; }
+  Tick now() const { return queue_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Route a message through the (possibly adversarial) network.
+  void post(Msg m);
+
+  /// Run the simulation. Returns number of events executed.
+  std::uint64_t run(Tick max_time = ~Tick{0}, std::uint64_t max_events = 200'000'000ULL);
+
+  /// True if party i is honest under the configured adversary.
+  bool honest(int i) const;
+
+ private:
+  int n_;
+  EventQueue queue_;
+  DelayModel delay_;
+  Metrics metrics_;
+  Rng rng_;
+  std::shared_ptr<Adversary> adversary_;
+  std::vector<std::unique_ptr<Party>> parties_;
+};
+
+}  // namespace bobw

@@ -1,0 +1,380 @@
+#include "src/vss/vss.hpp"
+
+#include <algorithm>
+
+namespace bobw {
+
+Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
+         Tick base, Handler on_shares)
+    : Instance(party, std::move(id)),
+      dealer_(dealer),
+      L_(L),
+      ctx_(ctx),
+      base_(base),
+      on_shares_(std::move(on_shares)) {
+  const int nn = n();
+  wsh_.resize(static_cast<std::size_t>(nn));
+  verdict_reg_.assign(static_cast<std::size_t>(nn),
+                      std::vector<std::optional<wire::Verdict>>(static_cast<std::size_t>(nn)));
+  verdict_any_ = verdict_reg_;
+  verdict_broadcast_.assign(static_cast<std::size_t>(nn), 0);
+
+  // Second layer: one ΠWPS per party, scheduled at B+Δ.
+  wps_.resize(static_cast<std::size_t>(nn));
+  for (int j = 0; j < nn; ++j) {
+    wps_[static_cast<std::size_t>(j)] = std::make_unique<Wps>(
+        party_, sub_id(this->id(), "wps:" + std::to_string(j)), j, L_, ctx_, base_ + ctx_.delta,
+        [this, j](const std::vector<Fp>& sh) {
+          wsh_[static_cast<std::size_t>(j)] = sh;
+          on_wps_share(j);
+        });
+  }
+
+  const Tick ok_start = base_ + ctx_.delta + ctx_.T.t_wps;
+  ok_bc_.resize(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
+  for (int i = 0; i < nn; ++i)
+    for (int j = 0; j < nn; ++j) {
+      ok_bc_[static_cast<std::size_t>(i * nn + j)] = std::make_unique<Bc>(
+          party_, sub_id(this->id(), "ok:" + std::to_string(i) + ":" + std::to_string(j)), i,
+          ctx_, ok_start,
+          [this, i, j](const std::optional<Bytes>& v, bool fb) { on_verdict(i, j, v, fb); });
+    }
+
+  wef_bc_ = std::make_unique<Bc>(
+      party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
+      [this](const std::optional<Bytes>& v, bool /*fb*/) {
+        if (!v) return;
+        if (auto s = wire::decode_star(*v, n())) {
+          if (!wef_) {
+            wef_ = std::move(*s);
+            wef_regular_ = wef_bc_->regular_output().has_value();
+            if (ba_out_ && !*ba_out_) try_path_w();
+          }
+        }
+      });
+
+  const Tick accept_time = ok_start + 2 * ctx_.T.t_bc;
+  star2_bc_ = std::make_unique<Bc>(
+      party_, sub_id(this->id(), "star2"), dealer_, ctx_, accept_time + ctx_.T.t_ba,
+      [this](const std::optional<Bytes>& v, bool /*fb*/) {
+        if (!v) return;
+        if (auto s = wire::decode_star(*v, n())) {
+          if (!star2_) {
+            star2_ = std::move(*s);
+            try_path_star2();
+          }
+        }
+      });
+
+  ba_ = std::make_unique<Ba>(party_, sub_id(this->id(), "ba"), ctx_, accept_time,
+                             [this](bool b) { on_ba(b); });
+
+  if (self() == dealer_) {
+    at(ok_start + ctx_.T.t_bc, [this] { dealer_find_wef(); });
+  }
+  at(accept_time, [this] { accept_check(); });
+}
+
+// --------------------------------------------------------------- dealer ---
+
+void Vss::deal(const std::vector<Poly>& qs) {
+  std::vector<SymBivariate> Qs;
+  Qs.reserve(qs.size());
+  for (const auto& q : qs)
+    Qs.push_back(SymBivariate::random_embedding(ctx_.ts, q, party_.rng()));
+  deal_bivariate(std::move(Qs));
+}
+
+void Vss::deal_bivariate(std::vector<SymBivariate> Qs) {
+  if (dealing_ || static_cast<int>(Qs.size()) != L_) return;
+  dealing_ = true;
+  Qs_ = std::move(Qs);
+  if (now() >= base_) {
+    send_rows();
+  } else {
+    at(base_, [this] { send_rows(); });
+  }
+}
+
+void Vss::deal_rows_custom(std::vector<SymBivariate> Qs,
+                           std::vector<std::vector<Poly>> rows_per_party) {
+  if (dealing_) return;
+  dealing_ = true;
+  Qs_ = std::move(Qs);
+  custom_rows_ = std::move(rows_per_party);
+  if (now() >= base_) {
+    send_rows();
+  } else {
+    at(base_, [this] { send_rows(); });
+  }
+}
+
+void Vss::send_rows() {
+  for (int i = 0; i < n(); ++i) {
+    std::vector<Poly> rows;
+    if (!custom_rows_.empty()) {
+      rows = custom_rows_[static_cast<std::size_t>(i)];
+    } else {
+      rows.reserve(static_cast<std::size_t>(L_));
+      for (const auto& Q : Qs_) rows.push_back(Q.row(alpha(i)));
+    }
+    send(i, kRows, wire::encode_rows(rows, ctx_.ts));
+  }
+}
+
+void Vss::dealer_find_wef() {
+  if (wef_sent_) return;
+  std::vector<char> bad(static_cast<std::size_t>(n()), 0);
+  for (int i = 0; i < n(); ++i)
+    for (int j = 0; j < n(); ++j) {
+      const auto& v = verdict_reg_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (!v || v->ok) continue;
+      if (v->nok_index >= static_cast<std::uint32_t>(L_) ||
+          v->nok_value != Qs_[v->nok_index].eval(alpha(j), alpha(i)))
+        bad[static_cast<std::size_t>(i)] = 1;
+    }
+  Graph g = graph(/*regular_only=*/true);
+  Graph pruned(n());
+  for (int u = 0; u < n(); ++u)
+    for (int v = u + 1; v < n(); ++v)
+      if (g.has_edge(u, v) && !bad[static_cast<std::size_t>(u)] && !bad[static_cast<std::size_t>(v)])
+        pruned.add_edge(u, v);
+  std::vector<bool> inW(static_cast<std::size_t>(n()), false);
+  // A party is trivially consistent with itself, so it counts towards its
+  // own degree (otherwise a clique of the n-ts honest parties could never
+  // satisfy deg >= n-ts).
+  for (int i = 0; i < n(); ++i)
+    inW[static_cast<std::size_t>(i)] = pruned.degree(i) + 1 >= n() - ctx_.ts;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n(); ++i) {
+      if (!inW[static_cast<std::size_t>(i)]) continue;
+      int deg_in_w = 1;  // self
+      for (int j = 0; j < n(); ++j)
+        if (j != i && inW[static_cast<std::size_t>(j)] && pruned.has_edge(i, j)) ++deg_in_w;
+      if (deg_in_w < n() - ctx_.ts) {
+        inW[static_cast<std::size_t>(i)] = false;
+        changed = true;
+      }
+    }
+  }
+  auto star = find_star(pruned.induced(inW), ctx_.ts);
+  if (!star) return;
+  wire::StarMsg msg;
+  for (int i = 0; i < n(); ++i)
+    if (inW[static_cast<std::size_t>(i)]) msg.W.push_back(i);
+  msg.E = std::move(star->E);
+  msg.F = std::move(star->F);
+  wef_sent_ = true;
+  wef_bc_->broadcast(wire::encode_star(msg));
+}
+
+void Vss::dealer_try_star2() {
+  if (star2_sent_) return;
+  auto star = find_star(graph(/*regular_only=*/false), ctx_.ta);
+  if (!star) return;
+  star2_sent_ = true;
+  wire::StarMsg msg;
+  msg.E = std::move(star->E);
+  msg.F = std::move(star->F);
+  star2_bc_->broadcast(wire::encode_star(msg));
+}
+
+// ------------------------------------------------- rows & second layer ---
+
+void Vss::on_message(const Msg& m) {
+  if (m.type == kRows) on_rows(m);
+}
+
+void Vss::on_rows(const Msg& m) {
+  if (m.from != dealer_ || rows_valid_) return;
+  auto rows = wire::decode_rows(m.body, L_, ctx_.ts);
+  if (!rows) return;
+  rows_ = std::move(*rows);
+  rows_valid_ = true;
+  maybe_deal_own_wps();
+  for (int j = 0; j < n(); ++j)
+    if (wsh_[static_cast<std::size_t>(j)]) maybe_broadcast_verdict(j);
+}
+
+void Vss::maybe_deal_own_wps() {
+  if (!rows_valid_ || own_wps_dealt_) return;
+  own_wps_dealt_ = true;
+  // "Wait till the local time becomes a multiple of Δ, then act as a dealer."
+  at(next_multiple(now(), ctx_.delta), [this] {
+    wps_[static_cast<std::size_t>(self())]->deal(rows_);
+  });
+}
+
+void Vss::on_wps_share(int j) {
+  maybe_broadcast_verdict(j);
+  if (interpolating_) try_interpolate({});
+}
+
+void Vss::maybe_broadcast_verdict(int j) {
+  if (!rows_valid_ || !wsh_[static_cast<std::size_t>(j)] ||
+      verdict_broadcast_[static_cast<std::size_t>(j)])
+    return;
+  verdict_broadcast_[static_cast<std::size_t>(j)] = 1;
+  at(next_multiple(now(), ctx_.delta), [this, j] {
+    wire::Verdict v;
+    const auto& sh = *wsh_[static_cast<std::size_t>(j)];
+    for (int l = 0; l < L_; ++l) {
+      if (sh[static_cast<std::size_t>(l)] != rows_[static_cast<std::size_t>(l)].eval(alpha(j))) {
+        v.ok = false;
+        v.nok_index = static_cast<std::uint32_t>(l);
+        v.nok_value = rows_[static_cast<std::size_t>(l)].eval(alpha(j));
+        break;
+      }
+    }
+    ok_bc_[static_cast<std::size_t>(self() * n() + j)]->broadcast(wire::encode_verdict(v));
+  });
+}
+
+void Vss::on_verdict(int i, int j, const std::optional<Bytes>& v, bool fallback) {
+  if (!v) return;
+  auto verdict = wire::decode_verdict(*v);
+  if (!verdict) return;
+  auto& any = verdict_any_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  if (!any) any = verdict;
+  if (!fallback) {
+    auto& reg = verdict_reg_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    if (!reg) reg = verdict;
+  }
+  if (ba_out_ && *ba_out_) {
+    if (self() == dealer_) dealer_try_star2();
+    try_path_star2();
+  }
+}
+
+Graph Vss::graph(bool regular_only) const {
+  const auto& tbl = regular_only ? verdict_reg_ : verdict_any_;
+  Graph g(n());
+  for (int i = 0; i < n(); ++i)
+    for (int j = i + 1; j < n(); ++j) {
+      const auto& a = tbl[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      const auto& b = tbl[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      if (a && a->ok && b && b->ok) g.add_edge(i, j);
+    }
+  return g;
+}
+
+// --------------------------------------------------- acceptance & paths ---
+
+void Vss::accept_check() {
+  accepted_ = false;
+  if (wef_ && wef_regular_) {
+    const auto& s = *wef_;
+    Graph g = graph(/*regular_only=*/true);
+    bool ok = static_cast<int>(s.W.size()) >= n() - ctx_.ts;
+    std::vector<bool> inW(static_cast<std::size_t>(n()), false);
+    for (int w : s.W) inW[static_cast<std::size_t>(w)] = true;
+    for (int j : s.W)
+      for (int k : s.W) {
+        if (j >= k) continue;
+        const auto& vj = verdict_reg_[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+        const auto& vk = verdict_reg_[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+        if (vj && vk && !vj->ok && !vk->ok && vj->nok_index == vk->nok_index &&
+            vj->nok_value != vk->nok_value)
+          ok = false;
+      }
+    for (int j : s.W) {
+      if (!ok) break;
+      if (g.degree(j) + 1 < n() - ctx_.ts) ok = false;
+      int deg_in_w = 1;  // self
+      for (int k : s.W)
+        if (k != j && g.has_edge(j, k)) ++deg_in_w;
+      if (deg_in_w < n() - ctx_.ts) ok = false;
+    }
+    if (ok) {
+      Graph gw = g.induced(inW);
+      for (int e : s.E)
+        if (!inW[static_cast<std::size_t>(e)]) ok = false;
+      for (int f : s.F)
+        if (!inW[static_cast<std::size_t>(f)]) ok = false;
+      if (ok) ok = is_star(gw, s.E, s.F, ctx_.ts);
+    }
+    accepted_ = ok;
+  }
+  ba_->set_input(accepted_ ? false : true);
+}
+
+void Vss::on_ba(bool b) {
+  ba_out_ = b;
+  if (!b) {
+    try_path_w();
+  } else {
+    if (self() == dealer_) dealer_try_star2();
+    try_path_star2();
+  }
+}
+
+void Vss::try_path_w() {
+  if (done_ || !ba_out_ || *ba_out_ || !wef_) return;
+  const auto& s = *wef_;
+  if (static_cast<int>(s.F.size()) < n() - ctx_.ts) return;
+  const bool in_w = std::find(s.W.begin(), s.W.end(), self()) != s.W.end();
+  if (in_w && rows_valid_) {
+    std::vector<Fp> out;
+    out.reserve(static_cast<std::size_t>(L_));
+    for (const auto& row : rows_) out.push_back(row.eval(Fp(0)));
+    finish(std::move(out));
+    return;
+  }
+  provider_.assign(static_cast<std::size_t>(n()), 0);
+  for (int p : s.F) provider_[static_cast<std::size_t>(p)] = 1;
+  interpolating_ = true;
+  try_interpolate({});
+}
+
+void Vss::try_path_star2() {
+  if (done_ || !ba_out_ || !*ba_out_ || !star2_) return;
+  const auto& s = *star2_;
+  if (!is_star(graph(/*regular_only=*/false), s.E, s.F, ctx_.ta)) return;
+  const bool in_f = std::find(s.F.begin(), s.F.end(), self()) != s.F.end();
+  if (in_f && rows_valid_) {
+    std::vector<Fp> out;
+    out.reserve(static_cast<std::size_t>(L_));
+    for (const auto& row : rows_) out.push_back(row.eval(Fp(0)));
+    finish(std::move(out));
+    return;
+  }
+  provider_.assign(static_cast<std::size_t>(n()), 0);
+  for (int p : s.F) provider_[static_cast<std::size_t>(p)] = 1;
+  interpolating_ = true;
+  try_interpolate({});
+}
+
+void Vss::try_interpolate(const std::vector<int>& /*unused*/) {
+  if (done_ || !interpolating_) return;
+  // SS_i: providers whose wps-shares I have computed. Need ts+1 of them.
+  std::vector<int> ss;
+  for (int j = 0; j < n(); ++j)
+    if (provider_[static_cast<std::size_t>(j)] && wsh_[static_cast<std::size_t>(j)]) ss.push_back(j);
+  if (static_cast<int>(ss.size()) < ctx_.ts + 1) return;
+  ss.resize(static_cast<std::size_t>(ctx_.ts + 1));
+  std::vector<Fp> xs;
+  xs.reserve(ss.size());
+  for (int j : ss) xs.push_back(alpha(j));
+  std::vector<Fp> out;
+  out.reserve(static_cast<std::size_t>(L_));
+  for (int l = 0; l < L_; ++l) {
+    std::vector<Fp> ys;
+    ys.reserve(ss.size());
+    for (int j : ss) ys.push_back((*wsh_[static_cast<std::size_t>(j)])[static_cast<std::size_t>(l)]);
+    // The wps-shares of parties in F all lie on my row q_i(x); ts+1 of them
+    // pin it down exactly (Lemma 4.13 argument) — share = q_i(0).
+    out.push_back(lagrange_eval(xs, ys, Fp(0)));
+  }
+  finish(std::move(out));
+}
+
+void Vss::finish(std::vector<Fp> shares) {
+  if (done_) return;
+  done_ = true;
+  shares_ = std::move(shares);
+  if (on_shares_) on_shares_(shares_);
+}
+
+}  // namespace bobw

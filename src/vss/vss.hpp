@@ -1,0 +1,123 @@
+// ΠVSS — the best-of-both-worlds verifiable secret sharing protocol
+// (paper §4.2, Fig 4, Theorem 4.16), generalised to L polynomials.
+//
+// Same skeleton as ΠWPS with a second communication layer: instead of
+// sending pairwise points directly, each Pj re-shares its row polynomials
+// through its own ΠWPS instance; Pi's "received point" q_ji is the wps-share
+// it computes in Π(j)WPS. This upgrade is what turns weak commitment into
+// strong commitment: parties outside W interpolate their row from the
+// wps-shares of any ts+1 parties of F, all of which are guaranteed correct.
+//
+// Schedule, relative to the publicly known base time B (Δ-aligned):
+//   B                      dealer sends rows q_i(x) = Q^(ℓ)(x, α_i)
+//   B+Δ                    each Pi deals its rows through Π(i)WPS
+//   B+Δ+T_WPS              OK/NOK verdicts broadcast (one ΠBC per (i,j))
+//   B+Δ+T_WPS+T_BC         dealer prunes, computes W, broadcasts (W,E,F)
+//   B+Δ+T_WPS+2T_BC        accept check; ΠBA vote
+//   +T_BA                  BA 0 -> shares via W / SS_i ⊆ F interpolation;
+//                          BA 1 -> (n,ta)-star (E',F') path
+//   T_VSS = Δ + T_WPS + 2 T_BC + T_BA
+//
+// Output at Pi: the L shares q^(ℓ)(α_i).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ba/ba.hpp"
+#include "src/bcast/bc.hpp"
+#include "src/core/timing.hpp"
+#include "src/field/bivariate.hpp"
+#include "src/graph/star.hpp"
+#include "src/sim/instance.hpp"
+#include "src/vss/wire.hpp"
+#include "src/vss/wps.hpp"
+
+namespace bobw {
+
+class Vss : public Instance {
+ public:
+  using Handler = std::function<void(const std::vector<Fp>&)>;
+
+  Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
+      Tick base, Handler on_shares);
+
+  /// Dealer-side: share L degree-ts polynomials.
+  void deal(const std::vector<Poly>& qs);
+  /// Dealer-side with explicit bivariate polynomials (fault injection).
+  void deal_bivariate(std::vector<SymBivariate> Qs);
+  /// Dealer-side, fully adversarial: send arbitrary per-party rows and use
+  /// `Qs` for the dealer's own pruning bookkeeping.
+  void deal_rows_custom(std::vector<SymBivariate> Qs,
+                        std::vector<std::vector<Poly>> rows_per_party);
+
+  bool has_output() const { return done_; }
+  const std::vector<Fp>& shares() const { return shares_; }
+  int dealer() const { return dealer_; }
+  const std::optional<bool>& ba_verdict() const { return ba_out_; }
+
+  void on_message(const Msg& m) override;
+
+  enum Type { kRows = 0 };
+
+ private:
+  void send_rows();
+  void on_rows(const Msg& m);
+  void maybe_deal_own_wps();
+  void on_wps_share(int j);
+  void maybe_broadcast_verdict(int j);
+  void on_verdict(int i, int j, const std::optional<Bytes>& v, bool fallback);
+
+  void dealer_find_wef();
+  void dealer_try_star2();
+
+  void accept_check();
+  void on_ba(bool b);
+  void try_path_w();
+  void try_path_star2();
+  void try_interpolate(const std::vector<int>& providers);
+  void finish(std::vector<Fp> shares);
+
+  Graph graph(bool regular_only) const;
+
+  int dealer_, L_;
+  Ctx ctx_;
+  Tick base_;
+  Handler on_shares_;
+
+  // Dealer state.
+  std::vector<SymBivariate> Qs_;
+  std::vector<std::vector<Poly>> custom_rows_;  // adversarial dealing
+  bool dealing_ = false;
+  bool wef_sent_ = false, star2_sent_ = false;
+
+  // Row / wps-share state.
+  std::vector<Poly> rows_;
+  bool rows_valid_ = false;
+  bool own_wps_dealt_ = false;
+  std::vector<std::unique_ptr<Wps>> wps_;            // n children, dealer j
+  std::vector<std::optional<std::vector<Fp>>> wsh_;  // wsh_[j]: my shares in Π(j)WPS
+
+  // Verdict state.
+  std::vector<std::vector<std::optional<wire::Verdict>>> verdict_reg_, verdict_any_;
+  std::vector<char> verdict_broadcast_;
+
+  std::vector<std::unique_ptr<Bc>> ok_bc_;
+  std::unique_ptr<Bc> wef_bc_, star2_bc_;
+  std::unique_ptr<Ba> ba_;
+
+  std::optional<wire::StarMsg> wef_;
+  bool wef_regular_ = false;
+  bool accepted_ = false;
+  std::optional<wire::StarMsg> star2_;
+  std::optional<bool> ba_out_;
+
+  std::vector<char> provider_;
+  bool interpolating_ = false;
+  std::vector<Fp> shares_;
+  bool done_ = false;
+};
+
+}  // namespace bobw

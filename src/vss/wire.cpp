@@ -1,0 +1,123 @@
+#include "src/vss/wire.hpp"
+
+#include <set>
+
+namespace bobw::wire {
+
+Bytes encode_rows(const std::vector<Poly>& rows, int d) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& p : rows) {
+    std::vector<std::uint64_t> coeffs;
+    coeffs.reserve(static_cast<std::size_t>(d) + 1);
+    for (int i = 0; i <= d; ++i) coeffs.push_back(p.coeff(i).value());
+    w.u64s(coeffs);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<Poly>> decode_rows(const Bytes& b, int L, int d) {
+  try {
+    Reader r(b);
+    if (static_cast<int>(r.u32()) != L) return std::nullopt;
+    std::vector<Poly> rows;
+    rows.reserve(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l) {
+      auto ws = r.u64s();
+      if (static_cast<int>(ws.size()) != d + 1) return std::nullopt;
+      rows.emplace_back(from_words(ws));
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return rows;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_points(const std::vector<Fp>& pts) {
+  Writer w;
+  w.u64s(to_words(pts));
+  return w.take();
+}
+
+std::optional<std::vector<Fp>> decode_points(const Bytes& b, int L) {
+  try {
+    Reader r(b);
+    auto ws = r.u64s();
+    if (static_cast<int>(ws.size()) != L || !r.exhausted()) return std::nullopt;
+    return from_words(ws);
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_verdict(const Verdict& v) {
+  Writer w;
+  w.u8(v.ok ? 1 : 0);
+  if (!v.ok) {
+    w.u32(v.nok_index);
+    w.u64(v.nok_value.value());
+  }
+  return w.take();
+}
+
+std::optional<Verdict> decode_verdict(const Bytes& b) {
+  try {
+    Reader r(b);
+    Verdict v;
+    std::uint8_t flag = r.u8();
+    if (flag > 1) return std::nullopt;
+    v.ok = flag == 1;
+    if (!v.ok) {
+      v.nok_index = r.u32();
+      std::uint64_t raw = r.u64();
+      if (raw >= Fp::kP) return std::nullopt;
+      v.nok_value = Fp(raw);
+    }
+    if (!r.exhausted()) return std::nullopt;
+    return v;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+void put_ids(Writer& w, const std::vector<int>& ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (int v : ids) w.u32(static_cast<std::uint32_t>(v));
+}
+bool get_ids(Reader& r, int n, std::vector<int>& out) {
+  std::uint32_t k = r.u32();
+  if (k > static_cast<std::uint32_t>(n)) return false;
+  std::set<int> seen;
+  out.clear();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    int v = static_cast<int>(r.u32());
+    if (v < 0 || v >= n || !seen.insert(v).second) return false;
+    out.push_back(v);
+  }
+  return true;
+}
+}  // namespace
+
+Bytes encode_star(const StarMsg& s) {
+  Writer w;
+  put_ids(w, s.W);
+  put_ids(w, s.E);
+  put_ids(w, s.F);
+  return w.take();
+}
+
+std::optional<StarMsg> decode_star(const Bytes& b, int n) {
+  try {
+    Reader r(b);
+    StarMsg s;
+    if (!get_ids(r, n, s.W) || !get_ids(r, n, s.E) || !get_ids(r, n, s.F)) return std::nullopt;
+    if (!r.exhausted()) return std::nullopt;
+    return s;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bobw::wire

@@ -1,0 +1,38 @@
+// Wire encodings shared by ΠWPS / ΠVSS: dealer rows, pairwise points,
+// OK/NOK verdicts and (W,E,F) / (E',F') star announcements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/codec.hpp"
+#include "src/field/fp.hpp"
+#include "src/field/poly.hpp"
+
+namespace bobw::wire {
+
+/// L dealer row polynomials, each with exactly d+1 coefficients.
+Bytes encode_rows(const std::vector<Poly>& rows, int d);
+std::optional<std::vector<Poly>> decode_rows(const Bytes& b, int L, int d);
+
+/// L field values (pairwise consistency points / share vectors).
+Bytes encode_points(const std::vector<Fp>& pts);
+std::optional<std::vector<Fp>> decode_points(const Bytes& b, int L);
+
+/// OK / NOK(least failing index, claimed value) verdict broadcast.
+struct Verdict {
+  bool ok = true;
+  std::uint32_t nok_index = 0;  // least ℓ with a mismatch
+  Fp nok_value;                 // sender's own value at that index
+};
+Bytes encode_verdict(const Verdict& v);
+std::optional<Verdict> decode_verdict(const Bytes& b);
+
+/// (W, E, F) — W empty encodes an (n,ta)-star announcement (E', F').
+struct StarMsg {
+  std::vector<int> W, E, F;
+};
+Bytes encode_star(const StarMsg& s);
+std::optional<StarMsg> decode_star(const Bytes& b, int n);
+
+}  // namespace bobw::wire

@@ -1,0 +1,129 @@
+// ΠWPS — the best-of-both-worlds weak polynomial sharing protocol
+// (paper §4.1, Fig 3, Theorem 4.8), generalised to L polynomials.
+//
+// Schedule, relative to the publicly known base time B (Δ-aligned):
+//   B            dealer sends row polynomials q_i(x) = Q^(ℓ)(x, α_i)
+//   B+Δ          pairwise consistency points exchanged (Δ-aligned)
+//   B+2Δ         OK/NOK verdicts broadcast through ΠBC (one BC per (i,j))
+//   B+2Δ+T_BC    dealer prunes incorrect-NOK parties, computes W, finds an
+//                (n,ts)-star in G_D[W], broadcasts (W,E,F)
+//   B+2Δ+2T_BC   parties validate & accept (W,E,F) (regular-mode info only),
+//                then vote in ΠBA: 0 = accepted, 1 = go for (n,ta)-star
+//   +T_BA        BA output: 0 -> shares via W (OEC over F's points),
+//                           1 -> dealer hunts an (n,ta)-star (E',F') in the
+//                                growing graph and broadcasts it; shares via
+//                                F' (OEC over F''s points)
+//   T_WPS = 2Δ + 2 T_BC + T_BA
+//
+// Output at party Pi: the L wps-shares q^(ℓ)(α_i) = Q^(ℓ)(0, α_i).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/ba/ba.hpp"
+#include "src/bcast/bc.hpp"
+#include "src/core/timing.hpp"
+#include "src/field/bivariate.hpp"
+#include "src/graph/star.hpp"
+#include "src/rs/oec.hpp"
+#include "src/sim/instance.hpp"
+#include "src/vss/wire.hpp"
+
+namespace bobw {
+
+class Wps : public Instance {
+ public:
+  /// Fires once, with the L wps-shares of this party.
+  using Handler = std::function<void(const std::vector<Fp>&)>;
+
+  Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
+      Tick base, Handler on_shares);
+
+  /// Dealer-side entry: share the L degree-ts polynomials q^(ℓ)(·)
+  /// (each is embedded into a fresh random symmetric bivariate polynomial).
+  /// Callable at or after construction; rows go out at max(now, base).
+  void deal(const std::vector<Poly>& qs);
+
+  /// Dealer-side entry with explicit bivariate polynomials (tests use this
+  /// to inject inconsistent sharings).
+  void deal_bivariate(std::vector<SymBivariate> Qs);
+
+  bool has_output() const { return done_; }
+  const std::vector<Fp>& shares() const { return shares_; }
+  int dealer() const { return dealer_; }
+  Tick base() const { return base_; }
+  /// The ΠBA verdict (0 = star path via W, 1 = (n,ta)-star path), if decided.
+  const std::optional<bool>& ba_verdict() const { return ba_out_; }
+
+  void on_message(const Msg& m) override;
+
+  enum Type { kRows = 0, kPoints = 1 };
+
+ private:
+  // --- wiring ---------------------------------------------------------
+  void send_rows();
+  void on_rows(const Msg& m);
+  void on_points(const Msg& m);
+  void maybe_send_points();
+  void maybe_broadcast_verdict(int j);
+  void on_verdict(int i, int j, const std::optional<Bytes>& v, bool fallback);
+
+  // --- dealer ---------------------------------------------------------
+  void dealer_find_wef();
+  void dealer_try_star2();
+
+  // --- acceptance & share paths ---------------------------------------
+  void accept_check();
+  void on_ba(bool b);
+  void try_path_w();
+  void try_path_star2();
+  void enter_oec(const std::vector<int>& providers);
+  void feed_oec(int j);
+  void finish(std::vector<Fp> shares);
+
+  Graph graph(bool regular_only) const;
+
+  int dealer_, L_;
+  Ctx ctx_;
+  Tick base_;
+  Handler on_shares_;
+
+  // Dealer state.
+  std::vector<SymBivariate> Qs_;  // only at the dealer
+  bool dealing_ = false;
+  bool wef_sent_ = false, star2_sent_ = false;
+
+  // Row/point state.
+  std::vector<Poly> rows_;
+  bool rows_valid_ = false;
+  bool points_sent_ = false;
+  std::vector<std::optional<std::vector<Fp>>> pts_;  // pts_[j]: L values from Pj
+
+  // Verdict state: verdict_{reg,any}_[i][j] = Pi's broadcast verdict on Pj.
+  std::vector<std::vector<std::optional<wire::Verdict>>> verdict_reg_, verdict_any_;
+  std::vector<char> verdict_broadcast_;  // have I broadcast my verdict on Pj?
+
+  // Sub-protocol instances.
+  std::vector<std::unique_ptr<Bc>> ok_bc_;  // n*n, index i*n+j
+  std::unique_ptr<Bc> wef_bc_, star2_bc_;
+  std::unique_ptr<Ba> ba_;
+
+  // Star state.
+  std::optional<wire::StarMsg> wef_;    // decoded (W,E,F) from dealer (any mode)
+  bool wef_regular_ = false;            // ... arrived through regular mode
+  bool accepted_ = false;
+  std::optional<wire::StarMsg> star2_;  // decoded (E',F')
+  std::optional<bool> ba_out_;
+
+  // Share completion.
+  std::vector<char> provider_;  // OEC contributor set (F or F')
+  std::vector<std::unique_ptr<Oec>> oecs_;
+  bool oec_active_ = false;
+  std::vector<Fp> shares_;
+  bool done_ = false;
+};
+
+}  // namespace bobw

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/acs/acs.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+using test::make_world;
+
+struct AcsRun {
+  std::vector<std::unique_ptr<Acs>> inst;
+  std::vector<std::optional<Acs::Output>> out;
+  std::vector<Tick> out_time;
+
+  AcsRun(test::World& w, int L, Acs::CsRule rule = Acs::CsRule::kAllOnes) {
+    inst.resize(static_cast<std::size_t>(w.n()));
+    out.resize(static_cast<std::size_t>(w.n()));
+    out_time.assign(static_cast<std::size_t>(w.n()), 0);
+    for (int i = 0; i < w.n(); ++i) {
+      if (!w.runs_code(i)) continue;
+      auto* world = &w;
+      int idx = i;
+      inst[static_cast<std::size_t>(i)] = std::make_unique<Acs>(
+          w.party(i), "acs", L, w.ctx, 0, rule, [this, idx, world](const Acs::Output& o) {
+            out[static_cast<std::size_t>(idx)] = o;
+            out_time[static_cast<std::size_t>(idx)] = world->sim->now();
+          });
+    }
+  }
+};
+
+TEST(Acs, SyncAllHonestInCs) {
+  // Lemma 5.1 (sync): CS common, |CS| >= n−ts, all honest parties in CS,
+  // everyone holds shares of every CS member's polynomial.
+  const int n = 4, ts = 1, ta = 0, L = 1;
+  auto w = make_world(n, ts, ta, NetMode::kSynchronous, test::crash({3}));
+  AcsRun run(w, L);
+  Rng rng(5);
+  std::vector<Poly> polys;
+  for (int i = 0; i < n; ++i) polys.push_back(Poly::random(ts, rng));
+  for (int i = 0; i < 3; ++i) run.inst[static_cast<std::size_t>(i)]->set_input({polys[static_cast<std::size_t>(i)]});
+  w.sim->run();
+  std::optional<std::vector<int>> cs;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(run.out[static_cast<std::size_t>(i)]) << i;
+    const auto& o = *run.out[static_cast<std::size_t>(i)];
+    EXPECT_GE(static_cast<int>(o.cs.size()), n - ts);
+    if (cs) EXPECT_EQ(*cs, o.cs);
+    cs = o.cs;
+    // All honest parties present.
+    for (int h = 0; h < 3; ++h)
+      EXPECT_NE(std::find(o.cs.begin(), o.cs.end(), h), o.cs.end());
+    // Shares match the dealt polynomials for honest members.
+    for (int j : o.cs) {
+      if (j == 3) continue;
+      ASSERT_TRUE(o.shares[static_cast<std::size_t>(j)]);
+      EXPECT_EQ((*o.shares[static_cast<std::size_t>(j)])[0], polys[static_cast<std::size_t>(j)].eval(alpha(i)));
+    }
+  }
+}
+
+TEST(Acs, SyncCompletesByTacs) {
+  const int n = 4, ts = 1, ta = 0, L = 1;
+  auto w = make_world(n, ts, ta, NetMode::kSynchronous);
+  AcsRun run(w, L);
+  Rng rng(6);
+  for (int i = 0; i < n; ++i) run.inst[static_cast<std::size_t>(i)]->set_input({Poly::random(ts, rng)});
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(run.out[static_cast<std::size_t>(i)]);
+    EXPECT_LE(run.out_time[static_cast<std::size_t>(i)], w.ctx.T.t_acs);
+    // With every dealer honest & on time, every party lands in CS.
+    EXPECT_EQ(run.out[static_cast<std::size_t>(i)]->cs.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Acs, AsyncCommonSubsetEventually) {
+  const int n = 5, ts = 1, ta = 1, L = 2;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto w = make_world(n, ts, ta, NetMode::kAsynchronous, test::crash({2}), seed);
+    AcsRun run(w, L);
+    Rng rng(seed);
+    std::vector<std::vector<Poly>> polys(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      polys[static_cast<std::size_t>(i)] = {Poly::random(ts, rng), Poly::random(ts, rng)};
+    for (int i = 0; i < n; ++i)
+      if (run.inst[static_cast<std::size_t>(i)])
+        run.inst[static_cast<std::size_t>(i)]->set_input(polys[static_cast<std::size_t>(i)]);
+    w.sim->run();
+    std::optional<std::vector<int>> cs;
+    for (int i = 0; i < n; ++i) {
+      if (!w.honest(i)) continue;
+      ASSERT_TRUE(run.out[static_cast<std::size_t>(i)]) << "seed " << seed;
+      if (cs) EXPECT_EQ(*cs, run.out[static_cast<std::size_t>(i)]->cs);
+      cs = run.out[static_cast<std::size_t>(i)]->cs;
+      EXPECT_GE(static_cast<int>(cs->size()), n - ts);
+      for (int j : *cs) {
+        if (!w.honest(j)) continue;
+        EXPECT_EQ((*run.out[static_cast<std::size_t>(i)]->shares[static_cast<std::size_t>(j)])[0],
+                  polys[static_cast<std::size_t>(j)][0].eval(alpha(i)));
+      }
+    }
+  }
+}
+
+TEST(Acs, FirstNMinusTsRuleTruncates) {
+  const int n = 4, ts = 1, ta = 0, L = 1;
+  auto w = make_world(n, ts, ta, NetMode::kSynchronous, nullptr, 9);
+  AcsRun run(w, L, Acs::CsRule::kFirstNMinusTs);
+  Rng rng(9);
+  for (int i = 0; i < n; ++i) run.inst[static_cast<std::size_t>(i)]->set_input({Poly::random(ts, rng)});
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(run.out[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(run.out[static_cast<std::size_t>(i)]->cs.size(), static_cast<std::size_t>(n - ts));
+    EXPECT_EQ(run.out[static_cast<std::size_t>(i)]->cs, (std::vector<int>{0, 1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace bobw

@@ -1,0 +1,205 @@
+// Active Byzantine behaviours at every protocol layer, run against the full
+// MPC stack. The invariant under test is always the same pair from
+// Theorem 7.1: honest agreement and correctness w.r.t. the CS inputs.
+#include <gtest/gtest.h>
+
+#include "src/core/runner.hpp"
+#include "src/mpc/cir_eval.hpp"
+#include "src/vss/wire.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+/// Runs the stack with a given adversary and checks the Thm 7.1 invariants.
+void expect_invariants(std::shared_ptr<Adversary> adv, NetMode mode, std::uint64_t seed,
+                       int n = 4, int ts = 1, int ta = 0) {
+  Circuit cir = circuits::pairwise_sums_product(n);
+  std::vector<Fp> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(Fp(static_cast<std::uint64_t>(2 * i + 1)));
+  MpcConfig cfg;
+  cfg.n = n;
+  cfg.ts = ts;
+  cfg.ta = ta;
+  cfg.mode = mode;
+  cfg.adversary = std::move(adv);
+  cfg.seed = seed;
+  auto res = run_mpc(cir, inputs, cfg);
+  std::set<int> corrupt = cfg.adversary ? cfg.adversary->corrupt_set() : std::set<int>{};
+  ASSERT_TRUE(res.all_honest_agree(corrupt)) << "seed " << seed;
+  std::vector<Fp> eff(inputs.size(), Fp(0));
+  for (int j : res.input_cs) eff[static_cast<std::size_t>(j)] = inputs[static_cast<std::size_t>(j)];
+  int honest = 0;
+  while (corrupt.count(honest)) ++honest;
+  EXPECT_EQ(*res.outputs[static_cast<std::size_t>(honest)], cir.eval_plain(eff)) << "seed " << seed;
+}
+
+/// Flips random bytes in a fraction of all outgoing messages.
+class ByteGarbler : public Adversary {
+ public:
+  explicit ByteGarbler(int percent) : percent_(percent) {}
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng& rng) override {
+    if (!m.body.empty() && static_cast<int>(rng.next_below(100)) < percent_) {
+      m.body[rng.next_below(m.body.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    return true;
+  }
+
+ private:
+  int percent_;
+};
+
+TEST(FaultInjection, RandomByteGarblingSync) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adv = std::make_shared<ByteGarbler>(50);
+    adv->corrupt(2);
+    expect_invariants(adv, NetMode::kSynchronous, seed);
+  }
+}
+
+TEST(FaultInjection, RandomByteGarblingAsync) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto adv = std::make_shared<ByteGarbler>(50);
+    adv->corrupt(1);
+    expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
+  }
+}
+
+/// Drops a fraction of outgoing messages (selective silence).
+class SelectiveDropper : public Adversary {
+ public:
+  explicit SelectiveDropper(int percent) : percent_(percent) {}
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg&, Rng& rng) override {
+    return static_cast<int>(rng.next_below(100)) >= percent_;
+  }
+
+ private:
+  int percent_;
+};
+
+TEST(FaultInjection, SelectiveMessageDropping) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adv = std::make_shared<SelectiveDropper>(60);
+    adv->corrupt(3);
+    expect_invariants(adv, NetMode::kSynchronous, seed);
+  }
+}
+
+/// Sends different payloads to different recipients (generic equivocation):
+/// adds the recipient id into the first byte.
+class Equivocator : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    if (!m.body.empty() && m.to % 2 == 0) m.body[0] ^= 0x01;
+    return true;
+  }
+};
+
+TEST(FaultInjection, GenericEquivocation) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adv = std::make_shared<Equivocator>();
+    adv->corrupt(0);  // the lowest id takes many dealer/king/sender roles
+    expect_invariants(adv, NetMode::kSynchronous, seed);
+  }
+}
+
+/// Maximal delay on every message from corrupt parties (slow-but-not-silent;
+/// indistinguishable from honest-but-slow in the async model).
+class Laggard : public Adversary {
+ public:
+  explicit Laggard(Tick lag) : lag_(lag) {}
+  bool participates(int) const override { return true; }
+  std::optional<Tick> delay_override(const Msg& m) override {
+    if (is_corrupt(m.from)) return lag_;
+    return std::nullopt;
+  }
+
+ private:
+  Tick lag_;
+};
+
+TEST(FaultInjection, LaggardPartyAsync) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto adv = std::make_shared<Laggard>(50'000);
+    adv->corrupt(2);
+    expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
+  }
+}
+
+/// Targeted network scheduler: delays all traffic *to* one honest victim in
+/// the asynchronous network (the adversary owns the scheduler, paper §2).
+class VictimScheduler : public Adversary {
+ public:
+  explicit VictimScheduler(int victim, Tick lag) : victim_(victim), lag_(lag) {}
+  std::optional<Tick> delay_override(const Msg& m) override {
+    if (m.to == victim_) return lag_;
+    return std::nullopt;
+  }
+
+ private:
+  int victim_;
+  Tick lag_;
+};
+
+TEST(FaultInjection, StarvedHonestVictimAsync) {
+  // No corrupt party at all — only adversarial scheduling. Everybody (the
+  // victim included) must still terminate with the right output.
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto adv = std::make_shared<VictimScheduler>(1, 30'000);
+    expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
+  }
+}
+
+/// Lies in the termination phase: floods ready messages with a wrong output.
+class ReadyLiar : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    if (m.inst == "mpc" && m.type == CirEval::kReady && m.body.size() >= 8)
+      m.body[0] ^= 0xFF;  // corrupt the claimed output value
+    return true;
+  }
+};
+
+TEST(FaultInjection, TerminationGadgetResistsWrongReady) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto adv = std::make_shared<ReadyLiar>();
+    adv->corrupt(1);
+    expect_invariants(adv, NetMode::kSynchronous, seed);
+  }
+}
+
+/// NOK-spammer: turns every OK verdict broadcast into a bogus NOK.
+class NokSpammer : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng& rng) override {
+    // Verdict broadcasts travel through ΠBC whose instance ids contain
+    // "/ok:<i>:<j>/"; the payload of the underlying Acast INIT is the
+    // verdict encoding. Garble those into NOKs with random values.
+    if (m.inst.find("/ok:") != std::string::npos && m.type == 0 && m.body.size() == 1 &&
+        m.body[0] == 1) {
+      wire::Verdict v;
+      v.ok = false;
+      v.nok_index = 0;
+      v.nok_value = Fp(rng.next_u64() % Fp::kP);
+      m.body = wire::encode_verdict(v);
+    }
+    return true;
+  }
+};
+
+TEST(FaultInjection, NokSpammerCannotBreakSharing) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto adv = std::make_shared<NokSpammer>();
+    adv->corrupt(2);
+    expect_invariants(adv, NetMode::kSynchronous, seed);
+  }
+}
+
+}  // namespace
+}  // namespace bobw

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.hpp"
+#include "src/graph/matching.hpp"
+#include "src/graph/star.hpp"
+
+namespace bobw {
+namespace {
+
+int matching_size(const std::vector<int>& match) {
+  int c = 0;
+  for (int v = 0; v < static_cast<int>(match.size()); ++v)
+    if (match[static_cast<std::size_t>(v)] > v) ++c;
+  return c;
+}
+
+void check_valid_matching(const Graph& g, const std::vector<int>& match) {
+  for (int v = 0; v < g.size(); ++v) {
+    int m = match[static_cast<std::size_t>(v)];
+    if (m == -1) continue;
+    EXPECT_EQ(match[static_cast<std::size_t>(m)], v);
+    EXPECT_TRUE(g.has_edge(v, m));
+  }
+}
+
+TEST(Matching, PathGraph) {
+  // 0-1-2-3: maximum matching = 2.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  auto m = max_matching(g);
+  check_valid_matching(g, m);
+  EXPECT_EQ(matching_size(m), 2);
+}
+
+TEST(Matching, OddCycleNeedsBlossom) {
+  // Triangle + pendant: 0-1, 1-2, 2-0, 2-3. Max matching = 2.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  auto m = max_matching(g);
+  check_valid_matching(g, m);
+  EXPECT_EQ(matching_size(m), 2);
+}
+
+TEST(Matching, PetersenLikeBlossomStress) {
+  // Two triangles joined by a bridge: 0-1-2-0, 3-4-5-3, 2-3.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);
+  auto m = max_matching(g);
+  check_valid_matching(g, m);
+  EXPECT_EQ(matching_size(m), 3);
+}
+
+TEST(Matching, EmptyAndCompleteGraphs) {
+  Graph empty(5);
+  EXPECT_EQ(matching_size(max_matching(empty)), 0);
+  Graph complete(6);
+  for (int u = 0; u < 6; ++u)
+    for (int v = u + 1; v < 6; ++v) complete.add_edge(u, v);
+  auto m = max_matching(complete);
+  check_valid_matching(complete, m);
+  EXPECT_EQ(matching_size(m), 3);
+}
+
+TEST(Matching, RandomGraphsAgainstBruteForce) {
+  // Exhaustive check on small random graphs: compare against brute force.
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(6));  // 2..7 vertices
+    Graph g(n);
+    std::vector<std::pair<int, int>> edges;
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.next_below(100) < 45) {
+          g.add_edge(u, v);
+          edges.emplace_back(u, v);
+        }
+    // Brute force maximum matching over edge subsets.
+    int best = 0;
+    const int ne = static_cast<int>(edges.size());
+    for (int mask = 0; mask < (1 << ne); ++mask) {
+      std::vector<bool> used(static_cast<std::size_t>(n), false);
+      int sz = 0;
+      bool ok = true;
+      for (int e = 0; e < ne && ok; ++e) {
+        if (!(mask & (1 << e))) continue;
+        auto [u, v] = edges[static_cast<std::size_t>(e)];
+        if (used[static_cast<std::size_t>(u)] || used[static_cast<std::size_t>(v)]) ok = false;
+        used[static_cast<std::size_t>(u)] = used[static_cast<std::size_t>(v)] = true;
+        ++sz;
+      }
+      if (ok) best = std::max(best, sz);
+    }
+    auto m = max_matching(g);
+    check_valid_matching(g, m);
+    EXPECT_EQ(matching_size(m), best) << "trial " << trial;
+  }
+}
+
+TEST(Graph, ComplementAndInduced) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  Graph h = g.complement();
+  EXPECT_FALSE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(0, 2));
+  EXPECT_TRUE(h.has_edge(2, 3));
+  std::vector<bool> keep{true, true, false, true};
+  Graph ind = h.induced(keep);
+  EXPECT_FALSE(ind.has_edge(0, 2));
+  EXPECT_TRUE(ind.has_edge(0, 3));
+}
+
+void check_star(const Graph& g, const Star& s, int t) {
+  EXPECT_TRUE(is_star(g, s.E, s.F, t));
+}
+
+TEST(Star, CliqueYieldsStar) {
+  // n=7, t=2, clique of n-t=5 honest parties: star must be found.
+  const int n = 7, t = 2;
+  Graph g(n);
+  for (int u = 0; u < n - t; ++u)
+    for (int v = u + 1; v < n - t; ++v) g.add_edge(u, v);
+  auto s = find_star(g, t);
+  ASSERT_TRUE(s);
+  check_star(g, *s, t);
+}
+
+TEST(Star, NoCliqueMayFail) {
+  // Empty graph: no clique of size n-t, star of the required size cannot
+  // exist; the algorithm must not fabricate one.
+  const int n = 7, t = 2;
+  Graph g(n);
+  auto s = find_star(g, t);
+  EXPECT_FALSE(s);
+}
+
+TEST(Star, ValidatorRejectsBogusStars) {
+  const int n = 7, t = 2;
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  // Too small E.
+  EXPECT_FALSE(is_star(g, {0, 1}, {0, 1, 2, 3, 4}, t));
+  // E not subset of F.
+  EXPECT_FALSE(is_star(g, {0, 1, 2}, {1, 2, 3, 4, 5}, t));
+  // Out-of-range and duplicate ids.
+  EXPECT_FALSE(is_star(g, {0, 1, 9}, {0, 1, 9, 3, 4}, t));
+  EXPECT_FALSE(is_star(g, {0, 1, 1}, {0, 1, 1, 3, 4}, t));
+  // A proper star passes.
+  EXPECT_TRUE(is_star(g, {0, 1, 2}, {0, 1, 2, 3, 4}, t));
+  // Missing edge breaks it.
+  Graph g2 = g;
+  Graph g3(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (!(u == 0 && v == 4)) g3.add_edge(u, v);
+  EXPECT_FALSE(is_star(g3, {0, 1, 2}, {0, 1, 2, 3, 4}, t));
+}
+
+TEST(Star, PropertyPlantedCliqueAlwaysFound) {
+  // Property sweep (paper §2.1: AlgStar succeeds whenever a clique of size
+  // >= n - t exists): plant a clique, add random extra edges, expect a star.
+  Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 6 + static_cast<int>(rng.next_below(6));  // 6..11
+    const int t = (n - 1) / 3;
+    Graph g(n);
+    // Plant clique on a random subset of size n-t.
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    for (int i = n - 1; i > 0; --i)
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i + 1)))]);
+    for (int a = 0; a < n - t; ++a)
+      for (int b = a + 1; b < n - t; ++b)
+        g.add_edge(perm[static_cast<std::size_t>(a)], perm[static_cast<std::size_t>(b)]);
+    // Random noise edges.
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.next_below(100) < 30) g.add_edge(u, v);
+    auto s = find_star(g, t);
+    ASSERT_TRUE(s) << "trial " << trial << " n=" << n << " t=" << t;
+    check_star(g, *s, t);
+  }
+}
+
+}  // namespace
+}  // namespace bobw

@@ -1,0 +1,59 @@
+// Shared test scaffolding: builds simulators in each network mode and hosts
+// per-party protocol sessions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/ba/coin.hpp"
+#include "src/core/timing.hpp"
+#include "src/sim/party.hpp"
+
+namespace bobw::test {
+
+struct World {
+  std::unique_ptr<Sim> sim;
+  std::shared_ptr<Adversary> adv;
+  std::unique_ptr<IdealCoin> coin;
+  Ctx ctx;
+
+  Party& party(int i) { return sim->party(i); }
+  bool honest(int i) const { return sim->honest(i); }
+  int n() const { return ctx.n; }
+
+  /// Should party i run protocol code? (honest, or corrupt-but-active)
+  bool runs_code(int i) const {
+    if (honest(i)) return true;
+    return adv && adv->participates(i);
+  }
+};
+
+inline World make_world(int n, int ts, int ta, NetMode mode,
+                        std::shared_ptr<Adversary> adv = nullptr,
+                        std::uint64_t seed = 42, Tick delta = 1000) {
+  World w;
+  NetConfig net;
+  net.mode = mode;
+  net.delta = delta;
+  w.adv = std::move(adv);
+  w.sim = std::make_unique<Sim>(n, net, seed, w.adv);
+  w.coin = std::make_unique<IdealCoin>(seed ^ 0xC01AULL);
+  w.ctx = Ctx::make(n, ts, ta, delta, w.coin.get());
+  return w;
+}
+
+/// Corrupt parties that run honest code unmodified.
+inline std::shared_ptr<Adversary> passive(std::initializer_list<int> corrupt) {
+  auto a = std::make_shared<PassiveAdversary>();
+  for (int c : corrupt) a->corrupt(c);
+  return a;
+}
+
+/// Corrupt parties that stay silent.
+inline std::shared_ptr<Adversary> crash(std::initializer_list<int> corrupt) {
+  auto a = std::make_shared<CrashAdversary>();
+  for (int c : corrupt) a->corrupt(c);
+  return a;
+}
+
+}  // namespace bobw::test

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/bcast/phase_king.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+using test::make_world;
+
+struct PkRun {
+  std::vector<std::unique_ptr<PhaseKing>> inst;
+
+  PkRun(test::World& w, int t, Tick start, const std::vector<Bytes>& inputs) {
+    inst.resize(static_cast<std::size_t>(w.n()));
+    for (int i = 0; i < w.n(); ++i) {
+      if (!w.runs_code(i)) continue;
+      Bytes in = inputs[static_cast<std::size_t>(i)];
+      inst[static_cast<std::size_t>(i)] = std::make_unique<PhaseKing>(
+          w.party(i), "pk", t, start, [in] { return in; }, nullptr);
+    }
+  }
+};
+
+TEST(PhaseKing, ValidityUnanimousInputs) {
+  const int n = 4, t = 1;
+  auto w = make_world(n, t, 0, NetMode::kSynchronous, test::crash({2}));
+  std::vector<Bytes> inputs(n, Bytes{0xAA, 0xBB});
+  PkRun run(w, t, 0, inputs);
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    if (!w.honest(i)) continue;
+    ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output()) << i;
+    EXPECT_EQ(*run.inst[static_cast<std::size_t>(i)]->output(), (Bytes{0xAA, 0xBB}));
+  }
+  // Deadline: output exactly at T_BGP = 3(t+1)Δ.
+  EXPECT_LE(w.sim->now(), PhaseKing::duration(t, w.ctx.delta) + w.ctx.delta);
+}
+
+TEST(PhaseKing, AgreementMixedInputs) {
+  const int n = 7, t = 2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto w = make_world(n, t, 0, NetMode::kSynchronous, test::crash({1, 4}), seed);
+    std::vector<Bytes> inputs(n);
+    for (int i = 0; i < n; ++i) inputs[static_cast<std::size_t>(i)] = Bytes{static_cast<std::uint8_t>(i % 3)};
+    PkRun run(w, t, 0, inputs);
+    w.sim->run();
+    std::optional<Bytes> agreed;
+    for (int i = 0; i < n; ++i) {
+      if (!w.honest(i)) continue;
+      ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output()) << i;
+      if (agreed) EXPECT_EQ(*agreed, *run.inst[static_cast<std::size_t>(i)]->output());
+      agreed = run.inst[static_cast<std::size_t>(i)]->output();
+    }
+  }
+}
+
+/// Byzantine party that lies in every round: flips VOTE/KING payload values.
+class LyingVoter : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng& rng) override {
+    // Garble the value inside the phase encoding (last bytes).
+    if (!m.body.empty()) m.body.back() ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    return true;
+  }
+};
+
+TEST(PhaseKing, AgreementUnderActiveLies) {
+  const int n = 7, t = 2;
+  auto adv = std::make_shared<LyingVoter>();
+  adv->corrupt(0);  // party 0 is king of phase 1 — a lying king
+  adv->corrupt(5);
+  auto w = make_world(n, t, 0, NetMode::kSynchronous, adv, 77);
+  std::vector<Bytes> inputs(n);
+  for (int i = 0; i < n; ++i) inputs[static_cast<std::size_t>(i)] = Bytes{static_cast<std::uint8_t>(i & 1)};
+  PkRun run(w, t, 0, inputs);
+  w.sim->run();
+  std::optional<Bytes> agreed;
+  for (int i = 0; i < n; ++i) {
+    if (!w.honest(i)) continue;
+    ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output());
+    if (agreed) EXPECT_EQ(*agreed, *run.inst[static_cast<std::size_t>(i)]->output());
+    agreed = run.inst[static_cast<std::size_t>(i)]->output();
+  }
+}
+
+TEST(PhaseKing, ValidityUnderActiveLiesUnanimousHonest) {
+  const int n = 7, t = 2;
+  auto adv = std::make_shared<LyingVoter>();
+  adv->corrupt(2);
+  adv->corrupt(6);
+  auto w = make_world(n, t, 0, NetMode::kSynchronous, adv, 88);
+  std::vector<Bytes> inputs(n, Bytes{0x42});
+  PkRun run(w, t, 0, inputs);
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    if (!w.honest(i)) continue;
+    ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output());
+    EXPECT_EQ(*run.inst[static_cast<std::size_t>(i)]->output(), (Bytes{0x42}));
+  }
+}
+
+TEST(PhaseKing, AsyncStillProducesSomeOutputAtDeadline) {
+  // Lemma 3.2 (async): every honest party has *an* output by the local
+  // deadline — no agreement promised.
+  const int n = 4, t = 1;
+  auto w = make_world(n, t, 0, NetMode::kAsynchronous);
+  std::vector<Bytes> inputs(n, Bytes{0x01});
+  PkRun run(w, t, 0, inputs);
+  w.sim->run();
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output());
+}
+
+TEST(PhaseKing, LateStartTimeHonored) {
+  const int n = 4, t = 1;
+  auto w = make_world(n, t, 0, NetMode::kSynchronous);
+  std::vector<Bytes> inputs(n, Bytes{0x07});
+  const Tick start = 5000;
+  PkRun run(w, t, start, inputs);
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output());
+    EXPECT_EQ(*run.inst[static_cast<std::size_t>(i)]->output(), (Bytes{0x07}));
+  }
+  EXPECT_GE(w.sim->now(), start + PhaseKing::duration(t, w.ctx.delta));
+}
+
+}  // namespace
+}  // namespace bobw

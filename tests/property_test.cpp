@@ -1,0 +1,153 @@
+// Property-style sweeps over (n, ts, ta, network, seed): the paper's
+// top-level invariants must hold in every sampled configuration.
+//
+//   P1  agreement: all honest parties output the same value;
+//   P2  correctness: the common output equals f over the CS inputs, with
+//       inputs outside CS replaced by 0;
+//   P3  |CS| >= n − ts; in a synchronous network every honest party ∈ CS;
+//   P4  VSS strong commitment: whatever a corrupt dealer does, honest
+//       outputs (if any) lie on one degree-<=ts polynomial — all-or-nothing.
+#include <gtest/gtest.h>
+
+#include "src/core/runner.hpp"
+#include "src/vss/vss.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+struct McpCase {
+  int n, ts, ta;
+  NetMode mode;
+  int corrupt;  // number of crash faults (prefix of highest ids)
+};
+
+class MpcSweep : public ::testing::TestWithParam<McpCase> {};
+
+TEST_P(MpcSweep, EndToEndInvariants) {
+  const auto& c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    Circuit cir = circuits::pairwise_sums_product(c.n);
+    std::vector<Fp> inputs;
+    Rng rng(seed * 100 + static_cast<std::uint64_t>(c.n));
+    for (int i = 0; i < c.n; ++i) inputs.push_back(Fp::random(rng));
+    MpcConfig cfg;
+    cfg.n = c.n;
+    cfg.ts = c.ts;
+    cfg.ta = c.ta;
+    cfg.mode = c.mode;
+    cfg.seed = seed;
+    for (int k = 0; k < c.corrupt; ++k) cfg.corrupt.insert(c.n - 1 - k);
+    auto res = run_mpc(cir, inputs, cfg);
+
+    // P1: agreement & liveness.
+    ASSERT_TRUE(res.all_honest_agree(cfg.corrupt))
+        << "n=" << c.n << " seed=" << seed << " mode=" << static_cast<int>(c.mode);
+
+    // P3: CS size; sync -> all honest present.
+    ASSERT_GE(static_cast<int>(res.input_cs.size()), c.n - c.ts);
+    if (c.mode == NetMode::kSynchronous) {
+      for (int i = 0; i < c.n; ++i) {
+        if (cfg.corrupt.count(i)) continue;
+        EXPECT_NE(std::find(res.input_cs.begin(), res.input_cs.end(), i), res.input_cs.end())
+            << "honest P" << i << " missing from CS (sync)";
+      }
+    }
+
+    // P2: output = f(CS inputs).
+    std::vector<Fp> eff(inputs.size(), Fp(0));
+    for (int j : res.input_cs) eff[static_cast<std::size_t>(j)] = inputs[static_cast<std::size_t>(j)];
+    int honest = 0;
+    while (cfg.corrupt.count(honest)) ++honest;
+    EXPECT_EQ(*res.outputs[static_cast<std::size_t>(honest)], cir.eval_plain(eff));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, MpcSweep,
+    ::testing::Values(
+        // n=4 corner: ts=1, ta=0 (the minimum viable configuration).
+        McpCase{4, 1, 0, NetMode::kSynchronous, 0},
+        McpCase{4, 1, 0, NetMode::kSynchronous, 1},
+        McpCase{4, 1, 0, NetMode::kAsynchronous, 0},
+        // n=5: ts=1, ta=1 — a genuine BoBW configuration.
+        McpCase{5, 1, 1, NetMode::kSynchronous, 1},
+        McpCase{5, 1, 1, NetMode::kAsynchronous, 1},
+        // n=6: slack between thresholds.
+        McpCase{6, 1, 1, NetMode::kSynchronous, 1},
+        McpCase{6, 1, 1, NetMode::kAsynchronous, 1}));
+
+// ---- P4: VSS commitment property under randomized corrupt dealing --------
+
+class VssCommitmentSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VssCommitmentSweep, RandomBadDealingsCommitToOnePolynomial) {
+  auto [mode_int, seed_base] = GetParam();
+  const NetMode mode = mode_int ? NetMode::kAsynchronous : NetMode::kSynchronous;
+  const int n = 5, ts = 1, ta = mode == NetMode::kAsynchronous ? 1 : 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto w = test::make_world(n, ts, ta, mode, test::passive({0}),
+                              static_cast<std::uint64_t>(seed_base) + seed);
+    std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(n));
+    std::vector<std::optional<Fp>> share(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& slot = share[static_cast<std::size_t>(i)];
+      inst[static_cast<std::size_t>(i)] = std::make_unique<Vss>(
+          w.party(i), "vss", 0, 1, w.ctx, 0,
+          [&slot](const std::vector<Fp>& sh) { slot = sh[0]; });
+    }
+    // Random corrupted dealing: start from a valid bivariate, tamper a
+    // random subset of rows by random perturbations.
+    Rng rng(seed * 977 + static_cast<std::uint64_t>(seed_base));
+    Poly q = Poly::random(ts, rng);
+    auto Q = SymBivariate::random_embedding(ts, q, rng);
+    std::vector<std::vector<Poly>> rows(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      rows[static_cast<std::size_t>(i)] = {Q.row(alpha(i))};
+      if (rng.next_below(100) < 40) {
+        Poly noise = Poly::random(ts, rng);
+        rows[static_cast<std::size_t>(i)][0] = rows[static_cast<std::size_t>(i)][0] + noise;
+      }
+    }
+    w.party(0).at(0, [&] { inst[0]->deal_rows_custom({Q}, rows); });
+    w.sim->run();
+
+    std::vector<std::pair<Fp, Fp>> pts;
+    int honest_total = 0;
+    for (int i = 1; i < n; ++i) {
+      ++honest_total;
+      if (share[static_cast<std::size_t>(i)])
+        pts.emplace_back(alpha(i), *share[static_cast<std::size_t>(i)]);
+    }
+    if (pts.empty()) continue;  // allowed: no honest party output anything
+    // All-or-nothing.
+    EXPECT_EQ(static_cast<int>(pts.size()), honest_total) << "seed " << seed;
+    // One polynomial of degree <= ts through all honest shares.
+    ASSERT_GE(pts.size(), 2u);
+    Poly fit = Poly::interpolate({pts[0].first, pts[1].first}, {pts[0].second, pts[1].second});
+    for (std::size_t k = 2; k < pts.size(); ++k)
+      EXPECT_EQ(fit.eval(pts[k].first), pts[k].second) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, VssCommitmentSweep,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(100, 200)));
+
+// ---- Determinism: identical runs bit-for-bit -----------------------------
+
+TEST(Determinism, SameSeedSameTranscript) {
+  auto run_once = [] {
+    Circuit cir = circuits::sum_of_squares(4);
+    MpcConfig cfg;
+    cfg.seed = 1234;
+    cfg.mode = NetMode::kAsynchronous;
+    cfg.ta = 0;
+    auto res = run_mpc(cir, {Fp(1), Fp(2), Fp(3), Fp(4)}, cfg);
+    return std::tuple{res.outputs, res.finish_time, res.honest_bits, res.honest_msgs};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bobw

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/field/poly.hpp"
+#include "src/rs/oec.hpp"
+#include "src/rs/reed_solomon.hpp"
+
+namespace bobw {
+namespace {
+
+TEST(SolveLinear, SolvesAndDetectsInconsistency) {
+  // x + y = 3, x - y = 1  ->  x=2, y=1.
+  std::vector<std::vector<Fp>> A{{Fp(1), Fp(1)}, {Fp(1), Fp::from_int(-1)}};
+  auto sol = solve_linear(A, {Fp(3), Fp(1)});
+  ASSERT_TRUE(sol);
+  EXPECT_EQ((*sol)[0], Fp(2));
+  EXPECT_EQ((*sol)[1], Fp(1));
+  // Inconsistent: x + y = 3, x + y = 4.
+  std::vector<std::vector<Fp>> B{{Fp(1), Fp(1)}, {Fp(1), Fp(1)}};
+  EXPECT_FALSE(solve_linear(B, {Fp(3), Fp(4)}));
+}
+
+class RsDecodeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RsDecodeSweep, RecoversUnderMaxErrors) {
+  auto [d, e] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + d * 10 + e));
+  Poly q = Poly::random(d, rng);
+  const int m = d + 2 * e + 1;
+  std::vector<Fp> xs, ys;
+  for (int k = 0; k < m; ++k) {
+    xs.push_back(alpha(k));
+    ys.push_back(q.eval(alpha(k)));
+  }
+  // Corrupt e points.
+  for (int k = 0; k < e; ++k) ys[static_cast<std::size_t>(k)] += Fp(1 + static_cast<std::uint64_t>(k));
+  auto rec = rs_decode(d, e, xs, ys);
+  ASSERT_TRUE(rec) << "d=" << d << " e=" << e;
+  EXPECT_EQ(*rec, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesAndErrors, RsDecodeSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 5),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+TEST(RsDecode, FailsBeyondErrorBudget) {
+  Rng rng(55);
+  const int d = 2, e = 1;
+  Poly q = Poly::random(d, rng);
+  const int m = d + 2 * e + 1;  // 5 points, 1 error correctable
+  std::vector<Fp> xs, ys;
+  for (int k = 0; k < m; ++k) {
+    xs.push_back(alpha(k));
+    ys.push_back(q.eval(alpha(k)));
+  }
+  ys[0] += Fp(1);
+  ys[1] += Fp(2);  // 2 errors, only 1 budgeted
+  auto rec = rs_decode(d, e, xs, ys);
+  // Either decoding fails, or the result disagrees with >= 2 points.
+  if (rec) EXPECT_LT(count_agreements(*rec, xs, ys), m - 1);
+}
+
+TEST(RsDecode, ZeroPolynomialEdgeCase) {
+  std::vector<Fp> xs{Fp(1), Fp(2), Fp(3)};
+  std::vector<Fp> ys{Fp(0), Fp(0), Fp(0)};
+  auto rec = rs_decode(0, 1, xs, ys);
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->degree(), -1);
+}
+
+TEST(Oec, RecoversAtMinimumHonestPoints) {
+  // OEC(d, t): needs d+t+1 agreeing points (paper §2.1).
+  Rng rng(77);
+  const int d = 2, t = 2;
+  Poly q = Poly::random(d, rng);
+  Oec oec(d, t);
+  // Feed d+t = 4 honest points: not enough yet.
+  for (int k = 0; k < d + t; ++k) {
+    EXPECT_FALSE(oec.add_point(alpha(k), q.eval(alpha(k))));
+    EXPECT_FALSE(oec.done());
+  }
+  // The (d+t+1)-th honest point completes recovery.
+  auto rec = oec.add_point(alpha(d + t), q.eval(alpha(d + t)));
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(*rec, q);
+  EXPECT_TRUE(oec.done());
+}
+
+TEST(Oec, ToleratesEarlyCorruptPoints) {
+  Rng rng(78);
+  const int d = 3, t = 3;
+  Poly q = Poly::random(d, rng);
+  Oec oec(d, t);
+  // t corrupt points arrive first.
+  for (int k = 0; k < t; ++k) EXPECT_FALSE(oec.add_point(alpha(k), q.eval(alpha(k)) + Fp(9)));
+  // Then honest points trickle in; recovery must happen once d+t+1 honest
+  // points are present (total d+2t+1).
+  std::optional<Poly> rec;
+  for (int k = t; k < d + 2 * t + 1; ++k) {
+    rec = oec.add_point(alpha(k), q.eval(alpha(k)));
+    if (rec) break;
+  }
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(*rec, q);
+}
+
+TEST(Oec, IgnoresDuplicateContributors) {
+  Rng rng(79);
+  const int d = 1, t = 1;
+  Poly q = Poly::random(d, rng);
+  Oec oec(d, t);
+  EXPECT_FALSE(oec.add_point(alpha(0), q.eval(alpha(0))));
+  // Same x again (conflicting value) must be ignored, not crash or confuse.
+  EXPECT_FALSE(oec.add_point(alpha(0), q.eval(alpha(0)) + Fp(4)));
+  EXPECT_FALSE(oec.add_point(alpha(1), q.eval(alpha(1))));
+  auto rec = oec.add_point(alpha(2), q.eval(alpha(2)));
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(*rec, q);
+}
+
+TEST(Oec, NeverReturnsWrongPolynomialUnderMaxCorruption) {
+  // Property: whatever t corrupt points do, the accepted polynomial is q.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(900 + seed);
+    const int d = 2, t = 2;
+    Poly q = Poly::random(d, rng);
+    Oec oec(d, t);
+    std::optional<Poly> rec;
+    // Interleave: corrupt points at random positions among d+2t+1 total.
+    for (int k = 0; k < d + 2 * t + 1 && !rec; ++k) {
+      bool corrupt = k < t;
+      Fp y = q.eval(alpha(k));
+      if (corrupt) y += Fp::random(rng);
+      rec = oec.add_point(alpha(k), y);
+    }
+    ASSERT_TRUE(rec) << "seed " << seed;
+    EXPECT_EQ(*rec, q) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace bobw

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/instance.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+using test::make_world;
+
+TEST(EventQueue, OrdersByTimePriSeq) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(10, EventQueue::kTimer, [&] { order.push_back(1); });
+  q.at(10, EventQueue::kDelivery, [&] { order.push_back(0); });
+  q.at(5, EventQueue::kTimer, [&] { order.push_back(2); });
+  q.at(10, EventQueue::kTimer, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1, 3}));
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, NeverSchedulesIntoPast) {
+  EventQueue q;
+  Tick seen = 0;
+  q.at(100, [&] {
+    q.at(50, [&] { seen = q.now(); });  // clamped to now=100
+  });
+  q.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, RespectsMaxTime) {
+  EventQueue q;
+  int ran = 0;
+  q.at(10, [&] { ++ran; });
+  q.at(20, [&] { ++ran; });
+  q.run(/*max_time=*/15);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(q.empty());
+}
+
+// Minimal echo instance for routing tests.
+class EchoInst : public Instance {
+ public:
+  EchoInst(Party& p, std::string id) : Instance(p, std::move(id)) {}
+  void on_message(const Msg& m) override { received.push_back(m); }
+  std::vector<Msg> received;
+};
+
+TEST(Sim, SynchronousDeliveryWithinDelta) {
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous);
+  EchoInst a(w.party(0), "echo");
+  EchoInst b(w.party(1), "echo");
+  Tick sent_at = 0;
+  w.party(1).at(0, [&] { w.party(1).send(0, "echo", 3, {42}); });
+  w.sim->run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].type, 3);
+  EXPECT_EQ(a.received[0].body, (Bytes{42}));
+  EXPECT_LE(a.received[0].sent_at + w.ctx.delta, sent_at + w.ctx.delta + 1);
+}
+
+TEST(Sim, PendingMessagesFlushOnRegistration) {
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous);
+  w.party(1).at(0, [&] { w.party(1).send(0, "late", 7, {9}); });
+  // Instance registered long after delivery time.
+  std::unique_ptr<EchoInst> inst;
+  w.party(0).at(5000, [&] { inst = std::make_unique<EchoInst>(w.party(0), "late"); });
+  w.sim->run();
+  ASSERT_TRUE(inst);
+  ASSERT_EQ(inst->received.size(), 1u);
+  EXPECT_EQ(inst->received[0].body, (Bytes{9}));
+}
+
+TEST(Sim, HaltedPartyStopsProcessing) {
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous);
+  EchoInst a(w.party(0), "echo");
+  w.party(0).at(0, [&] { w.party(0).halt(); });
+  w.party(1).at(10, [&] { w.party(1).send(0, "echo", 1, {}); });
+  w.sim->run();
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(Sim, MetricsCountHonestBitsOnly) {
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous, test::passive({3}));
+  EchoInst a(w.party(0), "proto:x/sub");
+  (void)a;
+  w.party(1).at(0, [&] { w.party(1).send(0, "proto:x/sub", 0, Bytes(16, 0)); });
+  w.party(3).at(0, [&] { w.party(3).send(0, "proto:x/sub", 0, Bytes(16, 0)); });
+  w.sim->run();
+  EXPECT_EQ(w.sim->metrics().honest_msgs(), 1u);
+  EXPECT_EQ(w.sim->metrics().total_msgs(), 2u);
+  EXPECT_EQ(w.sim->metrics().honest_bits(), (16u + 8u) * 8u);
+  EXPECT_EQ(w.sim->metrics().honest_bits_by_label().at("proto:x"), (16u + 8u) * 8u);
+}
+
+TEST(Sim, AsyncDelaysCanExceedDelta) {
+  auto w = make_world(4, 1, 0, NetMode::kAsynchronous);
+  EchoInst a(w.party(0), "echo");
+  const int kSends = 200;
+  w.party(1).at(0, [&] {
+    for (int i = 0; i < kSends; ++i) w.party(1).send(0, "echo", i, {});
+  });
+  w.sim->run();
+  ASSERT_EQ(a.received.size(), static_cast<std::size_t>(kSends));
+  bool any_late = false;
+  // Every message is eventually delivered; some take longer than Δ.
+  for (const auto& m : a.received) (void)m;
+  // Reconstruct delays via arrival order isn't tracked per message; instead
+  // check that total run time exceeded Δ (some delay > Δ).
+  any_late = w.sim->now() > w.ctx.delta;
+  EXPECT_TRUE(any_late);
+}
+
+TEST(Sim, CrashAdversaryDropsAllTraffic) {
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous, test::crash({2}));
+  EXPECT_FALSE(w.runs_code(2));
+  EXPECT_TRUE(w.runs_code(1));
+  EXPECT_FALSE(w.honest(2));
+}
+
+// An adversary that mutates outgoing bodies of corrupt parties.
+class FlipAdversary : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    if (!m.body.empty()) m.body[0] ^= 0xFF;
+    return true;
+  }
+};
+
+TEST(Sim, ActiveAdversaryMutatesTraffic) {
+  auto adv = std::make_shared<FlipAdversary>();
+  adv->corrupt(1);
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous, adv);
+  EchoInst a(w.party(0), "echo");
+  w.party(1).at(0, [&] { w.party(1).send(0, "echo", 0, {0x01}); });
+  w.party(2).at(0, [&] { w.party(2).send(0, "echo", 0, {0x01}); });
+  w.sim->run();
+  ASSERT_EQ(a.received.size(), 2u);
+  int mutated = 0;
+  for (auto& m : a.received)
+    if (m.body[0] == 0xFE) ++mutated;
+  EXPECT_EQ(mutated, 1);
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto w = make_world(5, 1, 1, NetMode::kAsynchronous, nullptr, /*seed=*/99);
+    EchoInst a(w.party(0), "echo");
+    for (int p = 1; p < 5; ++p)
+      w.party(p).at(0, [&w, p] { w.party(p).send(0, "echo", p, {static_cast<std::uint8_t>(p)}); });
+    w.sim->run();
+    std::vector<int> order;
+    for (auto& m : a.received) order.push_back(m.from);
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bobw

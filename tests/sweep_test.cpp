@@ -1,0 +1,161 @@
+// Parameterized property sweeps across protocol layers and configurations —
+// broad coverage at small per-case cost.
+#include <gtest/gtest.h>
+
+#include "src/ba/aba.hpp"
+#include "src/bcast/bc.hpp"
+#include "src/mpc/sharing.hpp"
+#include "src/rs/oec.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+using test::make_world;
+
+// ---- OEC over a (d, t, error-pattern) grid --------------------------------
+
+class OecGrid : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(OecGrid, RecoversWithErrorsAnywhere) {
+  auto [d, t, err_offset] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(d * 100 + t * 10 + err_offset));
+  Poly q = Poly::random(d, rng);
+  Oec oec(d, t);
+  const int total = d + 2 * t + 1;
+  std::optional<Poly> rec;
+  int fed = 0;
+  for (int k = 0; k < total && !rec; ++k) {
+    // `t` corrupt points, placed at a sweep-dependent offset.
+    const bool corrupt = k >= err_offset && k < err_offset + t;
+    Fp y = q.eval(alpha(k));
+    if (corrupt) y += Fp(1) + Fp::random(rng);
+    rec = oec.add_point(alpha(k), y);
+    ++fed;
+  }
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(*rec, q);
+  // Recovery must not need more than d + 2t + 1 points, and must not happen
+  // before d + t + 1 points.
+  EXPECT_GE(fed, d + t + 1);
+  EXPECT_LE(fed, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OecGrid,
+                         ::testing::Combine(::testing::Values(1, 2, 4),   // d
+                                            ::testing::Values(1, 2, 3),   // t
+                                            ::testing::Values(0, 2, 5))); // error offset
+
+// ---- ΠBC honest-sender sweep over (n, mode) -------------------------------
+
+struct BcCase {
+  int n;
+  NetMode mode;
+};
+
+class BcSweep : public ::testing::TestWithParam<BcCase> {};
+
+TEST_P(BcSweep, HonestSenderDeliversEverywhere) {
+  const auto& c = GetParam();
+  const int ts = (c.n - 1) / 3;
+  auto w = make_world(c.n, ts, 0, c.mode);
+  std::vector<std::unique_ptr<Bc>> inst(static_cast<std::size_t>(c.n));
+  for (int i = 0; i < c.n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Bc>(w.party(i), "bc", 0, w.ctx, 0, nullptr);
+  Bytes m{0xDE, 0xAD};
+  w.party(0).at(0, [&] { inst[0]->broadcast(m); });
+  w.sim->run();
+  for (int i = 0; i < c.n; ++i) {
+    // Regular output at T_BC in sync; in async the final output (regular or
+    // fallback) must still be m.
+    ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->regular_decided());
+    if (c.mode == NetMode::kSynchronous) {
+      ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->regular_output());
+      EXPECT_EQ(*inst[static_cast<std::size_t>(i)]->regular_output(), m);
+    }
+    ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->output());
+    EXPECT_EQ(*inst[static_cast<std::size_t>(i)]->output(), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BcSweep,
+                         ::testing::Values(BcCase{4, NetMode::kSynchronous},
+                                           BcCase{7, NetMode::kSynchronous},
+                                           BcCase{10, NetMode::kSynchronous},
+                                           BcCase{13, NetMode::kSynchronous},
+                                           BcCase{4, NetMode::kAsynchronous},
+                                           BcCase{7, NetMode::kAsynchronous},
+                                           BcCase{10, NetMode::kAsynchronous}));
+
+// ---- Reconstruct over batch sizes and thresholds --------------------------
+
+class ReconstructSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReconstructSweep, BatchesOfAllSizes) {
+  auto [n, L] = GetParam();
+  const int ts = (n - 1) / 3;
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous);
+  Rng rng(static_cast<std::uint64_t>(n * 37 + L));
+  std::vector<Fp> secrets;
+  std::vector<Poly> polys;
+  for (int l = 0; l < L; ++l) {
+    secrets.push_back(Fp::random(rng));
+    polys.push_back(Poly::random_with_secret(ts, secrets.back(), rng));
+  }
+  std::vector<std::unique_ptr<Reconstruct>> inst(static_cast<std::size_t>(n));
+  std::vector<std::optional<std::vector<Fp>>> got(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& slot = got[static_cast<std::size_t>(i)];
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Reconstruct>(
+        w.party(i), "rec", L, w.ctx, [&slot](const std::vector<Fp>& v) { slot = v; });
+    std::vector<Fp> sh;
+    for (int l = 0; l < L; ++l) sh.push_back(polys[static_cast<std::size_t>(l)].eval(alpha(i)));
+    auto* I = inst[static_cast<std::size_t>(i)].get();
+    w.party(i).at(0, [I, sh] { I->start(sh); });
+  }
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(got[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(*got[static_cast<std::size_t>(i)], secrets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ReconstructSweep,
+                         ::testing::Combine(::testing::Values(4, 7, 10),
+                                            ::testing::Values(1, 3, 17)));
+
+// ---- ABA with private coins (ablation): safety must survive ---------------
+
+TEST(AbaLocalCoin, SafetyHoldsWithPrivateCoins) {
+  // Replacing the common coin with Ben-Or private coins hurts liveness, not
+  // safety: decided honest parties still agree, and unanimity still decides.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    LocalCoin coin(seed);
+    NetConfig net;
+    net.mode = NetMode::kAsynchronous;
+    Sim sim(4, net, seed, nullptr);
+    std::vector<std::unique_ptr<Aba>> inst;
+    std::vector<std::optional<bool>> dec(4);
+    for (int i = 0; i < 4; ++i) {
+      auto& slot = dec[static_cast<std::size_t>(i)];
+      inst.push_back(std::make_unique<Aba>(sim.party(i), "aba", 1, coin,
+                                           [&slot](bool b) { slot = b; }));
+    }
+    for (int i = 0; i < 4; ++i) {
+      auto* I = inst[static_cast<std::size_t>(i)].get();
+      bool b = i < 2;  // split 2/2
+      sim.party(i).at(0, [I, b] { I->start(b); });
+    }
+    sim.run(~Tick{0}, 5'000'000ULL);
+    std::optional<bool> agreed;
+    for (int i = 0; i < 4; ++i) {
+      if (!dec[static_cast<std::size_t>(i)]) continue;
+      if (agreed) EXPECT_EQ(*agreed, *dec[static_cast<std::size_t>(i)]) << "seed " << seed;
+      agreed = dec[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bobw

@@ -1,0 +1,127 @@
+// The deadline table (core/timing) and wire-format robustness: every decoder
+// must reject malformed Byzantine input without crashing or over-allocating.
+#include <gtest/gtest.h>
+
+#include "src/core/timing.hpp"
+#include "src/vss/wire.hpp"
+
+namespace bobw {
+namespace {
+
+TEST(Timing, TableMatchesDefinitions) {
+  const Tick d = 1000;
+  for (int ts : {1, 2, 3, 4}) {
+    Timing T = Timing::compute(ts, d);
+    EXPECT_EQ(T.t_bgp, 3 * static_cast<Tick>(ts + 1) * d);
+    EXPECT_EQ(T.t_bc, 3 * d + T.t_bgp);
+    EXPECT_EQ(T.t_aba, 6 * d);
+    EXPECT_EQ(T.t_ba, T.t_bc + T.t_aba);
+    EXPECT_EQ(T.t_wps, 2 * d + 2 * T.t_bc + T.t_ba);
+    EXPECT_EQ(T.t_vss, d + T.t_wps + 2 * T.t_bc + T.t_ba);
+    EXPECT_EQ(T.t_acs, T.t_vss + 2 * T.t_ba);
+    EXPECT_EQ(T.t_tripsh, T.t_acs + 4 * d);
+    EXPECT_EQ(T.t_tripgen, T.t_tripsh + 2 * T.t_ba + d);
+    // Every deadline is Δ-aligned — the protocols' "multiple of Δ" waits
+    // rely on this.
+    for (Tick t : {T.t_bgp, T.t_bc, T.t_aba, T.t_ba, T.t_wps, T.t_vss, T.t_acs, T.t_tripsh,
+                   T.t_tripgen})
+      EXPECT_EQ(t % d, 0u);
+  }
+}
+
+TEST(Timing, NextMultiple) {
+  EXPECT_EQ(next_multiple(0, 1000), 0u);
+  EXPECT_EQ(next_multiple(1, 1000), 1000u);
+  EXPECT_EQ(next_multiple(999, 1000), 1000u);
+  EXPECT_EQ(next_multiple(1000, 1000), 1000u);
+  EXPECT_EQ(next_multiple(1001, 1000), 2000u);
+  EXPECT_EQ(next_multiple(5, 0), 5u);
+}
+
+TEST(Wire, RowsRoundTripAndRejection) {
+  Rng rng(1);
+  std::vector<Poly> rows{Poly::random(2, rng), Poly::random(1, rng)};
+  Bytes b = wire::encode_rows(rows, 2);
+  auto dec = wire::decode_rows(b, 2, 2);
+  ASSERT_TRUE(dec);
+  EXPECT_EQ((*dec)[0], rows[0]);
+  EXPECT_EQ((*dec)[1], rows[1]);
+  // Wrong L.
+  EXPECT_FALSE(wire::decode_rows(b, 3, 2));
+  // Wrong degree bound.
+  EXPECT_FALSE(wire::decode_rows(b, 2, 3));
+  // Truncated.
+  Bytes cut(b.begin(), b.begin() + static_cast<long>(b.size() - 3));
+  EXPECT_FALSE(wire::decode_rows(cut, 2, 2));
+  // Trailing garbage.
+  Bytes extra = b;
+  extra.push_back(0);
+  EXPECT_FALSE(wire::decode_rows(extra, 2, 2));
+}
+
+TEST(Wire, PointsRejectOutOfRangeElements) {
+  Writer w;
+  w.u64s({Fp::kP});  // not a canonical field element
+  EXPECT_FALSE(wire::decode_points(w.data(), 1));
+}
+
+TEST(Wire, VerdictRoundTripAndRejection) {
+  wire::Verdict ok;
+  auto d1 = wire::decode_verdict(wire::encode_verdict(ok));
+  ASSERT_TRUE(d1);
+  EXPECT_TRUE(d1->ok);
+  wire::Verdict nok;
+  nok.ok = false;
+  nok.nok_index = 3;
+  nok.nok_value = Fp(42);
+  auto d2 = wire::decode_verdict(wire::encode_verdict(nok));
+  ASSERT_TRUE(d2);
+  EXPECT_FALSE(d2->ok);
+  EXPECT_EQ(d2->nok_index, 3u);
+  EXPECT_EQ(d2->nok_value, Fp(42));
+  EXPECT_FALSE(wire::decode_verdict(Bytes{}));
+  EXPECT_FALSE(wire::decode_verdict(Bytes{9}));
+  EXPECT_FALSE(wire::decode_verdict(Bytes{1, 0}));  // trailing garbage
+}
+
+TEST(Wire, StarRoundTripAndRejection) {
+  wire::StarMsg s;
+  s.W = {0, 1, 2, 4};
+  s.E = {0, 1};
+  s.F = {0, 1, 2};
+  Bytes b = wire::encode_star(s);
+  auto d = wire::decode_star(b, 5);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->W, s.W);
+  EXPECT_EQ(d->E, s.E);
+  EXPECT_EQ(d->F, s.F);
+  // Out-of-range id.
+  EXPECT_FALSE(wire::decode_star(b, 4));
+  // Duplicate ids.
+  wire::StarMsg dup;
+  dup.W = {1, 1};
+  EXPECT_FALSE(wire::decode_star(wire::encode_star(dup), 5));
+  // Claimed size beyond n must be rejected before allocation.
+  Writer w;
+  w.u32(0xFFFFFF);
+  EXPECT_FALSE(wire::decode_star(w.data(), 5));
+}
+
+TEST(Wire, FuzzDecodersNeverThrow) {
+  // Byzantine senders can deliver arbitrary bytes; decoders must return
+  // nullopt, never crash or throw.
+  Rng rng(99);
+  for (int iter = 0; iter < 3000; ++iter) {
+    Bytes b(rng.next_below(40));
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_NO_THROW({
+      wire::decode_rows(b, 2, 2);
+      wire::decode_points(b, 3);
+      wire::decode_verdict(b);
+      wire::decode_star(b, 7);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace bobw
