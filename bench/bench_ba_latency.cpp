@@ -58,8 +58,8 @@ int main() {
     auto sm = run_ba(n, NetMode::kSynchronous, false, 2);
     auto au = run_ba(n, NetMode::kAsynchronous, true, 3);
     auto am = run_ba(n, NetMode::kAsynchronous, false, 4);
-    std::printf("%4d %10.1f | %13.1f %13.1f | %13.1f %13.1f\n", n, T.t_ba / 1000.0,
-                su.worst / 1000.0, sm.worst / 1000.0, au.worst / 1000.0, am.worst / 1000.0);
+    std::printf("%4d %10.1f | %13.1f %13.1f | %13.1f %13.1f\n", n, bench::in_delta(T.t_ba),
+                bench::in_delta(su.worst), bench::in_delta(sm.worst), bench::in_delta(au.worst), bench::in_delta(am.worst));
     if (su.worst > T.t_ba || sm.worst > T.t_ba)
       std::printf("     ^^ synchronous deadline violated — DIVERGES from paper\n");
   }

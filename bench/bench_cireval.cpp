@@ -31,10 +31,10 @@ int main() {
     for (auto t : res.finish_time) worst = std::max(worst, t);
     bool correct = res.all_honest_agree({}) && *res.outputs[0] == cir.eval_plain(inputs);
     Tick bound = T.t_tripgen + static_cast<Tick>(cir.mult_depth() + 4) * 1000;
-    std::printf("%6d %6d %12.1f %14.1f %10s %8s", depth, cir.mult_count(), worst / 1000.0,
-                bound / 1000.0, correct ? "yes" : "NO",
+    std::printf("%6d %6d %12.1f %14.1f %10s %8s", depth, cir.mult_count(), bench::in_delta(worst),
+                bench::in_delta(bound), correct ? "yes" : "NO",
                 res.input_cs.size() == static_cast<std::size_t>(n) ? "yes" : "NO");
-    if (prev) std::printf("   (+%.1fΔ)", (worst - prev) / 1000.0);
+    if (prev) std::printf("   (+%.1fΔ)", bench::in_delta(worst - prev));
     std::printf("\n");
     prev = worst;
   }
@@ -60,7 +60,7 @@ int main() {
     auto res = run_mpc(c, {Fp(1), Fp(1), Fp(1), Fp(1)}, cfg);
     Tick worst = 0;
     for (auto t : res.finish_time) worst = std::max(worst, t);
-    std::printf("  c_M = %2d: finish %.1fΔ, correct: %s\n", c.mult_count(), worst / 1000.0,
+    std::printf("  c_M = %2d: finish %.1fΔ, correct: %s\n", c.mult_count(), bench::in_delta(worst),
                 res.all_honest_agree({}) && *res.outputs[0] == c.eval_plain({Fp(1), Fp(1), Fp(1), Fp(1)})
                     ? "yes"
                     : "NO");

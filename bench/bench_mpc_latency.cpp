@@ -32,7 +32,7 @@ int main() {
     auto res = run_mpc(cir, inputs, cfg);
     Tick worst = 0;
     for (auto t : res.finish_time) worst = std::max(worst, t);
-    std::printf("%-26s %14s %14.1f\n", "synchronous (delay = Δ)", "1.00", worst / 1000.0);
+    std::printf("%-26s %14s %14.1f\n", "synchronous (delay = Δ)", "1.00", bench::in_delta(worst));
   }
 
   for (Tick dmax : {10ULL, 100ULL, 1000ULL, 4000ULL, 16000ULL}) {
@@ -48,7 +48,7 @@ int main() {
     Tick worst = 0;
     bool ok = res.all_honest_agree({});
     for (auto t : res.finish_time) worst = std::max(worst, t);
-    std::printf("%-26s %14.2f %14.1f%s\n", "asynchronous", dmax / 1000.0, worst / 1000.0,
+    std::printf("%-26s %14.2f %14.1f%s\n", "asynchronous", bench::in_delta(dmax), bench::in_delta(worst),
                 ok ? "" : "  (DISAGREED)");
   }
   bench::rule();

@@ -71,11 +71,11 @@ int main() {
   for (int cm : {1, 2, 4, 8, 16}) {
     auto s = run_prep(4, cm, NetMode::kSynchronous, 10 + static_cast<std::uint64_t>(cm));
     std::printf("%6d %9d %14.3g %16.3g %12.1f %6s\n", cm, s.triples, s.bits, s.bits / s.triples,
-                s.finish / 1000.0, s.all_multiplicative ? "yes" : "NO");
+                bench::in_delta(s.finish), s.all_multiplicative ? "yes" : "NO");
   }
   bench::rule();
   std::printf("T_TripGen bound = %.1f Δ (sync deadline for the c_M sharings)\n",
-              T.t_tripgen / 1000.0);
+              bench::in_delta(T.t_tripgen));
   auto a = run_prep(4, 4, NetMode::kAsynchronous, 99);
   std::printf("async check: %d triples, all multiplicative: %s\n", a.triples,
               a.all_multiplicative ? "yes" : "NO");

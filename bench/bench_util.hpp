@@ -61,6 +61,10 @@ inline double loglog_slope(const std::vector<double>& xs, const std::vector<doub
   return (m * sxy - sx * sy) / (m * sxx - sx * sx);
 }
 
+/// Ticks expressed in units of the benches' network bound Δ = 1000, for
+/// table printing.
+inline double in_delta(Tick t) { return static_cast<double>(t) / 1000.0; }
+
 inline void rule() { std::printf("%s\n", std::string(78, '-').c_str()); }
 
 }  // namespace bobw::bench

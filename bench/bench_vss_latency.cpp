@@ -61,9 +61,9 @@ int main() {
     auto sh = run_vss(n, NetMode::kSynchronous, 0, 1);
     auto sl = run_vss(n, NetMode::kSynchronous, 7000, 2);  // dealer 7Δ late
     auto ah = run_vss(n, NetMode::kAsynchronous, 0, 3);
-    std::printf("%4d %11.1f | %16.1f | %10.1f (+%5.1f) | %16.1f\n", n, T.t_vss / 1000.0,
-                sh.last / 1000.0, sl.outputs ? sl.last / 1000.0 : -1.0,
-                sl.outputs ? (sl.last - sl.first) / 1000.0 : 0.0, ah.last / 1000.0);
+    std::printf("%4d %11.1f | %16.1f | %10.1f (+%5.1f) | %16.1f\n", n, bench::in_delta(T.t_vss),
+                bench::in_delta(sh.last), sl.outputs ? bench::in_delta(sl.last) : -1.0,
+                sl.outputs ? bench::in_delta(sl.last - sl.first) : 0.0, bench::in_delta(ah.last));
     if (sh.last > T.t_vss)
       std::printf("     ^^ honest-dealer sync deadline violated — DIVERGES\n");
   }

@@ -8,8 +8,7 @@
 //            [--ts K] [--ta K] [--corrupt i,j,...] [--seed S] [--delta D]
 //
 // Try:
-//   ./build/examples/bobw_cli --circuit examples/circuits/quickstart.cir \
-//       --inputs 3,4,5,6 --corrupt 3
+//   ./build/bobw_cli --circuit examples/circuits/quickstart.cir --inputs 3,4,5,6 --corrupt 3
 #include <cstdio>
 #include <cstring>
 #include <fstream>

@@ -7,7 +7,10 @@
 //      which breaks, motivating best-of-both-worlds design (paper §1).
 //
 // Build & run:  ./build/examples/network_fallback_demo
+// Pass --quick for a smaller instance (n = 5, one fault) — same story,
+// seconds instead of minutes; used by the ctest smoke test.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "src/core/runner.hpp"
@@ -18,20 +21,22 @@ using namespace bobw;
 
 static void banner(const char* s) { std::printf("\n=== %s ===\n", s); }
 
-int main() {
-  const int n = 8, ts = 2, ta = 1;  // 3*2 + 1 = 7 < 8
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int n = quick ? 5 : 8, ts = quick ? 1 : 2, ta = 1;  // 3*ts + 1 <= n
   Circuit cir = circuits::pairwise_sums_product(n);
   std::vector<Fp> inputs;
   for (int i = 0; i < n; ++i) inputs.push_back(Fp(static_cast<std::uint64_t>(10 + i)));
 
-  banner("1. synchronous network, 2 Byzantine (crash) faults");
+  banner(quick ? "1. synchronous network, 1 Byzantine (crash) fault"
+               : "1. synchronous network, 2 Byzantine (crash) faults");
   {
     MpcConfig cfg;
     cfg.n = n;
     cfg.ts = ts;
     cfg.ta = ta;
     cfg.mode = NetMode::kSynchronous;
-    cfg.corrupt = {2, 5};
+    cfg.corrupt = quick ? std::set<int>{2} : std::set<int>{2, 5};
     auto res = run_mpc(cir, inputs, cfg);
     std::printf("honest agreement: %s, output: %llu, inputs in CS: %zu/%d\n",
                 res.all_honest_agree(cfg.corrupt) ? "yes" : "NO",

@@ -6,8 +6,8 @@ namespace bobw {
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
   return h;

@@ -116,7 +116,7 @@ Circuit pairwise_sums_product(int n) {
   Circuit c(n);
   std::vector<int> in;
   for (int p = 0; p < n; ++p) in.push_back(c.input(p));
-  int left = in[0], right = in[1 % n];
+  int left = in[0], right = in[static_cast<std::size_t>(1 % n)];
   for (int p = 2; p < n; ++p) {
     if (p % 2 == 0)
       left = c.add(left, in[static_cast<std::size_t>(p)]);

@@ -50,10 +50,10 @@ void Party::register_instance(Instance* inst) {
     pending_.erase(pend);
     sim_->queue().at(now(), EventQueue::kDelivery,
                      [this, id = inst->id(), ms = std::move(msgs)]() {
-                       auto it = instances_.find(id);
-                       if (it == instances_.end()) return;
+                       auto found = instances_.find(id);
+                       if (found == instances_.end()) return;
                        for (const auto& m : ms)
-                         if (!halted_) it->second->on_message(m);
+                         if (!halted_) found->second->on_message(m);
                      });
   }
 }

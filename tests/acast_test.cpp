@@ -83,7 +83,7 @@ TEST(Acast, EquivocatingSenderConsistency) {
     for (int i = 1; i < 4; ++i) {
       const auto& out = run.inst[static_cast<std::size_t>(i)]->output();
       if (!out) continue;
-      if (seen) EXPECT_EQ(*seen, *out) << "seed " << seed;
+      if (seen) { EXPECT_EQ(*seen, *out) << "seed " << seed; }
       seen = out;
     }
   }
@@ -113,10 +113,10 @@ TEST(Acast, CorruptSenderAllOrNothingEventually) {
     const auto& out = run.inst[static_cast<std::size_t>(i)]->output();
     if (!out) continue;
     ++outputs;
-    if (seen) EXPECT_EQ(*seen, *out);
+    if (seen) { EXPECT_EQ(*seen, *out); }
     seen = out;
   }
-  if (outputs > 0) EXPECT_EQ(outputs, 3);
+  if (outputs > 0) { EXPECT_EQ(outputs, 3); }
 }
 
 TEST(Acast, CommunicationIsQuadraticInN) {

@@ -46,7 +46,7 @@ TEST(Acs, SyncAllHonestInCs) {
     ASSERT_TRUE(run.out[static_cast<std::size_t>(i)]) << i;
     const auto& o = *run.out[static_cast<std::size_t>(i)];
     EXPECT_GE(static_cast<int>(o.cs.size()), n - ts);
-    if (cs) EXPECT_EQ(*cs, o.cs);
+    if (cs) { EXPECT_EQ(*cs, o.cs); }
     cs = o.cs;
     // All honest parties present.
     for (int h = 0; h < 3; ++h)
@@ -92,7 +92,7 @@ TEST(Acs, AsyncCommonSubsetEventually) {
     for (int i = 0; i < n; ++i) {
       if (!w.honest(i)) continue;
       ASSERT_TRUE(run.out[static_cast<std::size_t>(i)]) << "seed " << seed;
-      if (cs) EXPECT_EQ(*cs, run.out[static_cast<std::size_t>(i)]->cs);
+      if (cs) { EXPECT_EQ(*cs, run.out[static_cast<std::size_t>(i)]->cs); }
       cs = run.out[static_cast<std::size_t>(i)]->cs;
       EXPECT_GE(static_cast<int>(cs->size()), n - ts);
       for (int j : *cs) {

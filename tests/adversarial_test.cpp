@@ -88,7 +88,7 @@ TEST(AdversarialAcs, StragglerDealerStillInCsOrExcludedConsistently) {
     std::optional<std::vector<int>> cs;
     for (int i = 0; i < 3; ++i) {
       ASSERT_TRUE(out[static_cast<std::size_t>(i)]) << "seed " << seed;
-      if (cs) EXPECT_EQ(*cs, out[static_cast<std::size_t>(i)]->cs);
+      if (cs) { EXPECT_EQ(*cs, out[static_cast<std::size_t>(i)]->cs); }
       cs = out[static_cast<std::size_t>(i)]->cs;
       for (int j : *cs) ASSERT_TRUE(out[static_cast<std::size_t>(i)]->shares[static_cast<std::size_t>(j)]);
     }

@@ -69,7 +69,7 @@ TEST_P(AbaModeSweep, ConsistencyMixedInputs) {
     for (int i = 0; i < 7; ++i) {
       if (!w.honest(i)) continue;
       ASSERT_TRUE(run.decided[static_cast<std::size_t>(i)]) << "seed " << seed;
-      if (agreed) EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]);
+      if (agreed) { EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]); }
       agreed = run.decided[static_cast<std::size_t>(i)];
     }
   }
@@ -122,7 +122,7 @@ TEST(Aba, SafetyUnderActiveAttack) {
     for (int i = 0; i < 4; ++i) {
       if (!w.honest(i)) continue;
       ASSERT_TRUE(run.decided[static_cast<std::size_t>(i)]) << "seed " << seed;
-      if (agreed) EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]);
+      if (agreed) { EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]); }
       agreed = run.decided[static_cast<std::size_t>(i)];
     }
   }
@@ -182,7 +182,7 @@ TEST(Ba, SyncConsistencyMixedInputs) {
     std::optional<bool> agreed;
     for (int i = 0; i < 3; ++i) {
       ASSERT_TRUE(run.decided[static_cast<std::size_t>(i)]) << "seed " << seed;
-      if (agreed) EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]);
+      if (agreed) { EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]); }
       agreed = run.decided[static_cast<std::size_t>(i)];
     }
   }
@@ -214,7 +214,7 @@ TEST(Ba, LateInputStillDecides) {
   std::optional<bool> agreed;
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(run.decided[static_cast<std::size_t>(i)]);
-    if (agreed) EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]);
+    if (agreed) { EXPECT_EQ(*agreed, *run.decided[static_cast<std::size_t>(i)]); }
     agreed = run.decided[static_cast<std::size_t>(i)];
   }
 }

@@ -97,8 +97,9 @@ TEST(Bc, AsyncWeakValidityNeverWrongValue) {
     w.sim->run();
     for (int i = 0; i < n; ++i) {
       ASSERT_TRUE(run.regular[static_cast<std::size_t>(i)]);
-      if (*run.regular[static_cast<std::size_t>(i)])
+      if (*run.regular[static_cast<std::size_t>(i)]) {
         EXPECT_EQ(**run.regular[static_cast<std::size_t>(i)], m) << "seed " << seed;
+      }
       // Fallback validity — final output is always m.
       ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output());
       EXPECT_EQ(*run.inst[static_cast<std::size_t>(i)]->output(), m);
@@ -129,7 +130,7 @@ TEST(Bc, SyncConsistencyCorruptEquivocatingSender) {
     std::optional<std::optional<Bytes>> agreed;
     for (int i = 1; i < n; ++i) {
       ASSERT_TRUE(run.regular[static_cast<std::size_t>(i)]);
-      if (agreed) EXPECT_EQ(*agreed, *run.regular[static_cast<std::size_t>(i)]) << "seed " << seed;
+      if (agreed) { EXPECT_EQ(*agreed, *run.regular[static_cast<std::size_t>(i)]) << "seed " << seed; }
       agreed = *run.regular[static_cast<std::size_t>(i)];
     }
   }
@@ -160,10 +161,10 @@ TEST(Bc, AsyncFallbackConsistencyCorruptSender) {
       const auto& out = run.inst[static_cast<std::size_t>(i)]->output();
       if (!out) continue;
       ++with_output;
-      if (final_val) EXPECT_EQ(*final_val, *out) << "seed " << seed;
+      if (final_val) { EXPECT_EQ(*final_val, *out) << "seed " << seed; }
       final_val = *out;
     }
-    if (with_output > 0) EXPECT_EQ(with_output, n - 1) << "seed " << seed;
+    if (with_output > 0) { EXPECT_EQ(with_output, n - 1) << "seed " << seed; }
   }
 }
 

@@ -49,7 +49,7 @@ TEST(PhaseKing, AgreementMixedInputs) {
     for (int i = 0; i < n; ++i) {
       if (!w.honest(i)) continue;
       ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output()) << i;
-      if (agreed) EXPECT_EQ(*agreed, *run.inst[static_cast<std::size_t>(i)]->output());
+      if (agreed) { EXPECT_EQ(*agreed, *run.inst[static_cast<std::size_t>(i)]->output()); }
       agreed = run.inst[static_cast<std::size_t>(i)]->output();
     }
   }
@@ -80,7 +80,7 @@ TEST(PhaseKing, AgreementUnderActiveLies) {
   for (int i = 0; i < n; ++i) {
     if (!w.honest(i)) continue;
     ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->output());
-    if (agreed) EXPECT_EQ(*agreed, *run.inst[static_cast<std::size_t>(i)]->output());
+    if (agreed) { EXPECT_EQ(*agreed, *run.inst[static_cast<std::size_t>(i)]->output()); }
     agreed = run.inst[static_cast<std::size_t>(i)]->output();
   }
 }

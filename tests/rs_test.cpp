@@ -56,7 +56,7 @@ TEST(RsDecode, FailsBeyondErrorBudget) {
   ys[1] += Fp(2);  // 2 errors, only 1 budgeted
   auto rec = rs_decode(d, e, xs, ys);
   // Either decoding fails, or the result disagrees with >= 2 points.
-  if (rec) EXPECT_LT(count_agreements(*rec, xs, ys), m - 1);
+  if (rec) { EXPECT_LT(count_agreements(*rec, xs, ys), m - 1); }
 }
 
 TEST(RsDecode, ZeroPolynomialEdgeCase) {

@@ -151,7 +151,7 @@ TEST(AbaLocalCoin, SafetyHoldsWithPrivateCoins) {
     std::optional<bool> agreed;
     for (int i = 0; i < 4; ++i) {
       if (!dec[static_cast<std::size_t>(i)]) continue;
-      if (agreed) EXPECT_EQ(*agreed, *dec[static_cast<std::size_t>(i)]) << "seed " << seed;
+      if (agreed) { EXPECT_EQ(*agreed, *dec[static_cast<std::size_t>(i)]) << "seed " << seed; }
       agreed = dec[static_cast<std::size_t>(i)];
     }
   }
