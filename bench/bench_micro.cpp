@@ -1,13 +1,57 @@
-// M1–M3: substrate micro-benchmarks (google-benchmark).
+// M1–M3: substrate micro-benchmarks (google-benchmark), plus the
+// seed-vs-kernel comparison suite behind --emit-json that records the
+// BENCH_*.json perf trajectory (see bench/bench_util.hpp for the format).
+//
+//   ./bench_micro                        # google-benchmark harness
+//   ./bench_micro --emit-json OUT.json   # comparison suite -> "micro_kernels"
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.hpp"
 #include "src/field/fp.hpp"
+#include "src/field/kernels.hpp"
 #include "src/field/poly.hpp"
 #include "src/graph/star.hpp"
+#include "src/rs/oec.hpp"
 #include "src/rs/reed_solomon.hpp"
+#include "src/rs/reference.hpp"
 
 namespace bobw {
 namespace {
+
+// ---------------------------------------------------------------- fixtures --
+
+struct Points {
+  std::vector<Fp> xs, ys;
+};
+
+Points points_on_random_poly(int d, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  Poly q = Poly::random(d, rng);
+  Points p;
+  for (int k = 0; k < count; ++k) {
+    p.xs.push_back(alpha(k));
+    p.ys.push_back(q.eval(alpha(k)));
+  }
+  return p;
+}
+
+// Stream an n-point opening with the full t corrupt points arriving first —
+// the decoder's worst case — through any OEC implementation.
+template <typename OecT>
+void run_oec_stream(int n, int d, int t, const Points& p) {
+  OecT oec(d, t);
+  for (int k = 0; k < n; ++k) {
+    Fp y = p.ys[static_cast<std::size_t>(k)];
+    if (k < t) y += Fp(9);
+    oec.add_point(p.xs[static_cast<std::size_t>(k)], y);
+    if (oec.done()) break;
+  }
+}
+
+// -------------------------------------------------- google-benchmark suite --
 
 void BM_FieldMul(benchmark::State& state) {
   Rng rng(1);
@@ -29,32 +73,49 @@ void BM_FieldInv(benchmark::State& state) {
 }
 BENCHMARK(BM_FieldInv);
 
+void BM_BatchInverse(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<Fp> xs;
+  for (int i = 0; i < k; ++i) xs.push_back(Fp::random(rng));
+  for (auto _ : state) {
+    std::vector<Fp> ys = xs;
+    batch_inverse(ys);
+    benchmark::DoNotOptimize(ys);
+  }
+}
+BENCHMARK(BM_BatchInverse)->Arg(8)->Arg(64);
+
 void BM_Interpolate(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
-  Rng rng(3);
-  Poly q = Poly::random(d, rng);
-  std::vector<Fp> xs, ys;
-  for (int i = 0; i <= d; ++i) {
-    xs.push_back(alpha(i));
-    ys.push_back(q.eval(alpha(i)));
-  }
-  for (auto _ : state) benchmark::DoNotOptimize(Poly::interpolate(xs, ys));
+  auto p = points_on_random_poly(d, d + 1, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(Poly::interpolate(p.xs, p.ys));
 }
-BENCHMARK(BM_Interpolate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Interpolate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(63);
+
+void BM_PointSetCachedEval(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  auto p = points_on_random_poly(d, d + 1, 6);
+  PointSet ps(p.xs);
+  for (auto _ : state) benchmark::DoNotOptimize(ps.eval(p.ys, Fp(0)));
+}
+BENCHMARK(BM_PointSetCachedEval)->Arg(8)->Arg(21)->Arg(63);
 
 void BM_RsDecode(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0)), e = static_cast<int>(state.range(1));
-  Rng rng(4);
-  Poly q = Poly::random(d, rng);
-  std::vector<Fp> xs, ys;
-  for (int k = 0; k < d + 2 * e + 1; ++k) {
-    xs.push_back(alpha(k));
-    ys.push_back(q.eval(alpha(k)));
-  }
-  for (int k = 0; k < e; ++k) ys[static_cast<std::size_t>(k)] += Fp(7);
-  for (auto _ : state) benchmark::DoNotOptimize(rs_decode(d, e, xs, ys));
+  auto p = points_on_random_poly(d, d + 2 * e + 1, 4);
+  for (int k = 0; k < e; ++k) p.ys[static_cast<std::size_t>(k)] += Fp(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rs_decode(d, e, p.xs, p.ys));
 }
 BENCHMARK(BM_RsDecode)->Args({2, 2})->Args({4, 4})->Args({8, 8});
+
+void BM_OecDecodeStream(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3, d = t;
+  auto p = points_on_random_poly(d, n, 8);
+  for (auto _ : state) run_oec_stream<Oec>(n, d, t, p);
+}
+BENCHMARK(BM_OecDecodeStream)->Arg(16)->Arg(64);
 
 void BM_StarFinding(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -66,7 +127,104 @@ void BM_StarFinding(benchmark::State& state) {
 }
 BENCHMARK(BM_StarFinding)->Arg(7)->Arg(13)->Arg(25);
 
+// ------------------------------------------- seed-vs-kernel emission suite --
+
+// The acceptance kernels at n = 64 (ts = d = t = 21): Lagrange
+// interpolation, share opening, and the OEC decode stream, each timed
+// against the frozen scalar seed path from src/rs/reference.hpp.
+int emit_comparison(const std::string& path) {
+  std::vector<bench::JsonMetric> out;
+  const int n = 64;
+  const int t = (n - 1) / 3, d = t;
+  auto push = [&out](const std::string& name, double seed_ns, double kernel_ns) {
+    out.push_back({name + "_seed_ns", seed_ns});
+    out.push_back({name + "_kernel_ns", kernel_ns});
+    out.push_back({name + "_speedup", seed_ns / kernel_ns});
+    std::printf("%-24s seed %12.0f ns   kernel %12.0f ns   speedup %6.1fx\n", name.c_str(),
+                seed_ns, kernel_ns, seed_ns / kernel_ns);
+  };
+
+  {  // Full-width interpolation through n points.
+    auto p = points_on_random_poly(n - 1, n, 11);
+    double seed = bench::time_ns_per_iter(
+        [&] { benchmark::DoNotOptimize(ref::interpolate(p.xs, p.ys)); }, 10);
+    double kernel = bench::time_ns_per_iter(
+        [&] { benchmark::DoNotOptimize(Poly::interpolate(p.xs, p.ys)); }, 200);
+    push("interpolate_n64", seed, kernel);
+  }
+
+  {  // Share opening: L = 64 batched secrets over the same t+1 providers
+     // (the ΠVSS SS-set path) — seed rebuilds weights + inverts per secret,
+     // kernel reuses one cached weight vector.
+    const int L = 64;
+    auto p = points_on_random_poly(t, t + 1, 12);
+    std::vector<std::vector<Fp>> batches(L, p.ys);
+    double seed = bench::time_ns_per_iter(
+        [&] {
+          Fp acc(0);
+          for (const auto& ys : batches) acc += ref::lagrange_eval(p.xs, ys, Fp(0));
+          benchmark::DoNotOptimize(acc);
+        },
+        20);
+    double kernel = bench::time_ns_per_iter(
+        [&] {
+          auto ps = pointset(p.xs);
+          Fp acc(0);
+          for (const auto& ys : batches) acc += ps->eval(ys, Fp(0));
+          benchmark::DoNotOptimize(acc);
+        },
+        200);
+    push("open_L64_n64", seed, kernel);
+  }
+
+  {  // Batched inversion of n elements.
+    Rng rng(13);
+    std::vector<Fp> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(Fp::random(rng));
+    double seed = bench::time_ns_per_iter(
+        [&] {
+          std::vector<Fp> ys = xs;
+          for (auto& y : ys) y = y.inv();
+          benchmark::DoNotOptimize(ys);
+        },
+        100);
+    double kernel = bench::time_ns_per_iter(
+        [&] {
+          std::vector<Fp> ys = xs;
+          batch_inverse(ys);
+          benchmark::DoNotOptimize(ys);
+        },
+        100);
+    push("batch_inverse_n64", seed, kernel);
+  }
+
+  {  // OEC decode of one share over an n-party stream, t corrupt-first.
+    auto p = points_on_random_poly(d, n, 14);
+    double seed =
+        bench::time_ns_per_iter([&] { run_oec_stream<ref::Oec>(n, d, t, p); }, 2, 3);
+    double kernel = bench::time_ns_per_iter([&] { run_oec_stream<Oec>(n, d, t, p); }, 10, 3);
+    push("oec_decode_n64", seed, kernel);
+  }
+
+  bench::emit_json_section(path, "micro_kernels", out);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bobw
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--emit-json requires an output path\n");
+      return 1;
+    }
+    return bobw::emit_comparison(argv[i + 1]);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -49,7 +49,20 @@ Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --emit-json <path>: also append a "vss_latency" section to the
+  // BENCH_*.json perf-trajectory file (see bench/bench_util.hpp).
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--emit-json") continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--emit-json requires an output path\n");
+      return 1;
+    }
+    json_path = argv[++i];
+  }
+  std::vector<bench::JsonMetric> metrics;
+
   std::printf("F2: VSS share-delivery time (Delta units) — bound T_VSS\n");
   bench::rule();
   std::printf("%4s %11s | %16s | %22s | %16s\n", "n", "T_VSS bound", "sync honest D",
@@ -66,10 +79,15 @@ int main() {
                 sl.outputs ? bench::in_delta(sl.last - sl.first) : 0.0, bench::in_delta(ah.last));
     if (sh.last > T.t_vss)
       std::printf("     ^^ honest-dealer sync deadline violated — DIVERGES\n");
+    const std::string suffix = "_n" + std::to_string(n);
+    metrics.push_back({"t_vss_bound_delta" + suffix, bench::in_delta(T.t_vss)});
+    metrics.push_back({"sync_honest_last_delta" + suffix, bench::in_delta(sh.last)});
+    metrics.push_back({"async_honest_last_delta" + suffix, bench::in_delta(ah.last)});
   }
   bench::rule();
   std::printf("expectation: honest sync column <= T_VSS; late dealer exceeds the\n"
               "deadline but all honest parties finish within a small spread;\n"
               "async column finite (eventual delivery).\n");
+  if (!json_path.empty()) bench::emit_json_section(json_path, "vss_latency", metrics);
   return 0;
 }

@@ -1,0 +1,82 @@
+// Batched field kernels — the shared engine under every reconstruction
+// primitive in the stack (VSS share distribution, OEC, triple extraction,
+// circuit-evaluation openings).
+//
+// The scalar seed paths recompute two things from scratch on every call:
+//   * one Fermat inversion (61 squarings) per Lagrange denominator, and
+//   * the Lagrange basis / Vandermonde fragments for the SAME public point
+//     sets α/β that stay fixed for a whole protocol run.
+// The kernels here amortise all inversions in a loop into a single Fermat
+// exponentiation (Montgomery's batch-inversion trick) and precompute each
+// point set's barycentric data once per process, memoising the weight vector
+// per evaluation point. All outputs are bit-identical to the scalar paths
+// (field arithmetic is exact); tests/kernels_test.cpp proves it
+// differentially against the frozen seed reference in src/rs/reference.hpp.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/field/fp.hpp"
+#include "src/field/poly.hpp"
+
+namespace bobw {
+
+/// In-place Montgomery batch inversion: replaces every non-zero element with
+/// its multiplicative inverse using 3(k-1) multiplications plus ONE Fermat
+/// inversion (the scalar path pays one Fermat inversion — ~120 field
+/// multiplications — per element). Zero entries stay zero, matching
+/// Fp::inv()'s 0 -> 0 behaviour.
+void batch_inverse(std::vector<Fp>& xs);
+
+/// An immutable set of pairwise-distinct evaluation points with precomputed
+/// barycentric weights and master polynomial. Construction is O(k^2) with a
+/// single field inversion; afterwards
+///   * weights_at(at) is O(k) on first use per `at` and O(1) memoised, and
+///   * interpolate(ys) is O(k^2) with no inversions at all
+/// — versus the scalar seed path's O(k^3) basis rebuild with k Fermat
+/// inversions per call.
+///
+/// Throws std::invalid_argument if the points are not pairwise distinct.
+class PointSet {
+ public:
+  explicit PointSet(std::vector<Fp> xs);
+
+  const std::vector<Fp>& xs() const { return xs_; }
+  std::size_t size() const { return xs_.size(); }
+
+  /// Lagrange weights w_j such that q(at) = sum_j w_j q(xs_j) for every
+  /// polynomial q with deg q < size(). Memoised per `at` (the protocol asks
+  /// for the same handful of points — 0, the α/β grid — over and over).
+  const std::vector<Fp>& weights_at(Fp at) const;
+
+  /// The unique degree-<(k) polynomial through (xs_j, ys_j).
+  Poly interpolate(const std::vector<Fp>& ys) const;
+
+  /// Evaluate that interpolant at `at` without materialising the polynomial.
+  Fp eval(const std::vector<Fp>& ys, Fp at) const;
+
+ private:
+  std::vector<Fp> xs_;
+  std::vector<Fp> bary_;    // bary_j = 1 / prod_{m != j} (xs_j - xs_m)
+  std::vector<Fp> master_;  // N(x) = prod_j (x - xs_j), low degree first
+  mutable std::unordered_map<std::uint64_t, std::vector<Fp>> weight_cache_;
+};
+
+/// Process-wide PointSet cache keyed by the point values. The α/β evaluation
+/// points are public and fixed for a whole protocol run, so every instance —
+/// and every simulated party — shares one precomputation per (xs) set.
+/// Callers that outlive a single expression must hold the returned
+/// shared_ptr (the cache evicts wholesale when it grows past a bound).
+/// Deterministic pure math; not thread-safe (the simulator is
+/// single-threaded).
+std::shared_ptr<const PointSet> pointset(const std::vector<Fp>& xs);
+
+/// Rows of powers for the online Berlekamp–Welch system: row k holds
+/// xs[k]^0 .. xs[k]^width. Each arriving OEC point computes its row once;
+/// every subsequent decode attempt assembles its matrix from the cache
+/// instead of re-deriving the Vandermonde fragments.
+std::vector<Fp> power_row(Fp x, int width);
+
+}  // namespace bobw

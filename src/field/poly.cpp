@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/field/kernels.hpp"
+
 namespace bobw {
 
 Poly::Poly(std::vector<Fp> coeffs) : c_(std::move(coeffs)) { trim(); }
@@ -65,34 +67,32 @@ Poly Poly::random_with_secret(int d, Fp secret, Rng& rng) {
 
 Poly Poly::interpolate(const std::vector<Fp>& xs, const std::vector<Fp>& ys) {
   if (xs.size() != ys.size()) throw std::invalid_argument("interpolate: size mismatch");
-  const std::size_t k = xs.size();
-  // Build sum_j ys[j] * prod_{m!=j} (x - xs[m]) / (xs[j] - xs[m]).
-  Poly acc;
-  for (std::size_t j = 0; j < k; ++j) {
-    Poly basis(std::vector<Fp>{Fp(1)});
-    Fp denom(1);
-    for (std::size_t m = 0; m < k; ++m) {
-      if (m == j) continue;
-      basis = basis * Poly(std::vector<Fp>{-xs[m], Fp(1)});
-      denom *= xs[j] - xs[m];
-    }
-    acc = acc + basis.scaled(ys[j] * denom.inv());
-  }
-  return acc;
+  // Master-polynomial + synthetic-division engine: O(k^2) with a single
+  // batched inversion, versus the former per-basis rebuild at O(k^3) with k
+  // Fermat inversions. Throws std::invalid_argument on duplicate xs (the old
+  // path silently divided by inv(0) = 0 and returned garbage).
+  return PointSet(xs).interpolate(ys);
 }
 
 std::vector<Fp> lagrange_weights(const std::vector<Fp>& xs, Fp at) {
   const std::size_t k = xs.size();
-  std::vector<Fp> w(k);
+  // Denominators prod_{m!=j}(xs_j - xs_m), inverted in one batch. A zero
+  // denominator means a duplicate point — reject instead of dividing by zero.
+  std::vector<Fp> w(k, Fp(1));
   for (std::size_t j = 0; j < k; ++j) {
-    Fp num(1), den(1);
     for (std::size_t m = 0; m < k; ++m) {
       if (m == j) continue;
-      num *= at - xs[m];
-      den *= xs[j] - xs[m];
+      w[j] *= xs[j] - xs[m];
     }
-    w[j] = num * den.inv();
+    if (k > 1 && w[j].is_zero())
+      throw std::invalid_argument("lagrange_weights: duplicate x-coordinate");
   }
+  batch_inverse(w);
+  // Numerators prod_{m!=j}(at - xs_m) via prefix/suffix products.
+  std::vector<Fp> prefix(k + 1, Fp(1)), suffix(k + 1, Fp(1));
+  for (std::size_t m = 0; m < k; ++m) prefix[m + 1] = prefix[m] * (at - xs[m]);
+  for (std::size_t m = k; m-- > 0;) suffix[m] = suffix[m + 1] * (at - xs[m]);
+  for (std::size_t j = 0; j < k; ++j) w[j] *= prefix[j] * suffix[j + 1];
   return w;
 }
 

@@ -38,7 +38,8 @@ class Poly {
   /// "random t-degree polynomial with f(0) = s").
   static Poly random_with_secret(int d, Fp secret, Rng& rng);
 
-  /// Unique degree-<=(k-1) polynomial through k distinct points.
+  /// Unique degree-<=(k-1) polynomial through k distinct points. Throws
+  /// std::invalid_argument on a size mismatch or duplicate x-coordinates.
   static Poly interpolate(const std::vector<Fp>& xs, const std::vector<Fp>& ys);
 
  private:
@@ -50,7 +51,7 @@ class Poly {
 /// deg q <= |xs|-1,  q(at) = sum_j w_j * q(xs[j]).
 /// This is the paper's "Lagrange linear function": applying the same weights
 /// to *shares* of q(xs[j]) yields shares of q(at), because d-sharings are
-/// linear (Definition 2.3).
+/// linear (Definition 2.3). Throws std::invalid_argument on duplicate xs.
 std::vector<Fp> lagrange_weights(const std::vector<Fp>& xs, Fp at);
 
 /// Evaluate a polynomial given by point-value pairs at a new point.

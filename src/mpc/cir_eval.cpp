@@ -114,11 +114,15 @@ void CirEval::on_mul_layer(const std::vector<int>& gate_ids, const std::vector<F
 void CirEval::on_y_opened(const std::vector<Fp>& y) { send_ready(y); }
 
 void CirEval::send_ready(const std::vector<Fp>& y) {
-  if (ready_sent_ || terminated_) return;
-  ready_sent_ = true;
   Writer w;
   w.u64s(to_words(y));
-  send_all(kReady, w.take());
+  send_ready_bytes(w.take());
+}
+
+void CirEval::send_ready_bytes(const Bytes& body) {
+  if (ready_sent_ || terminated_) return;
+  ready_sent_ = true;
+  send_all(kReady, body);
 }
 
 void CirEval::on_message(const Msg& m) {
@@ -133,7 +137,10 @@ void CirEval::on_message(const Msg& m) {
   }
   auto& senders = ready_[m.body];
   if (!senders.insert(m.from).second) return;
-  if (static_cast<int>(senders.size()) >= ctx_.ts + 1) send_ready(y);
+  // Echo support: the validated body re-encodes to exactly itself (the u64s
+  // framing is canonical), so forward the received bytes instead of
+  // re-serialising the decoded vector.
+  if (static_cast<int>(senders.size()) >= ctx_.ts + 1) send_ready_bytes(m.body);
   if (static_cast<int>(senders.size()) >= 2 * ctx_.ts + 1) terminate(y);
 }
 

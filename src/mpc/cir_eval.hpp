@@ -53,6 +53,7 @@ class CirEval : public Instance {
   void on_mul_layer(const std::vector<int>& gate_ids, const std::vector<Fp>& z);
   void on_y_opened(const std::vector<Fp>& y);
   void send_ready(const std::vector<Fp>& y);
+  void send_ready_bytes(const Bytes& body);
   void terminate(const std::vector<Fp>& y);
 
   const Circuit& cir_;

@@ -1,5 +1,7 @@
 #include "src/mpc/preprocess.hpp"
 
+#include "src/field/kernels.hpp"
+
 namespace bobw {
 
 Preprocess::Preprocess(Party& party, const std::string& id, const Ctx& ctx, Tick base,
@@ -59,6 +61,12 @@ void Preprocess::maybe_extract() {
   std::vector<Fp> grid;
   grid.reserve(static_cast<std::size_t>(2 * d_ + 1));
   for (int k = 0; k < 2 * d_ + 1; ++k) grid.push_back(alpha((*cs_)[static_cast<std::size_t>(k)]));
+  // Warm the process-wide PointSet caches for the grid and its base prefix
+  // before the L-way TripExt fan-out: every extraction instance (for every
+  // party — the grid is public and identical) then finds the Lagrange
+  // precomputation ready instead of redoing it on its own critical path.
+  pointset(grid);
+  pointset(std::vector<Fp>(grid.begin(), grid.begin() + d_ + 1));
   ext_.resize(static_cast<std::size_t>(L_));
   for (int l = 0; l < L_; ++l) {
     ext_[static_cast<std::size_t>(l)] = std::make_unique<TripExt>(

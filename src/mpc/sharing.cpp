@@ -28,6 +28,8 @@ void Reconstruct::feed(int from, const std::vector<Fp>& shares) {
   bool all_done = true;
   for (int l = 0; l < L_; ++l) {
     auto& oec = *oecs_[static_cast<std::size_t>(l)];
+    // A rejected contribution (duplicate α / already decoded) is simply
+    // dropped; the per-sender `seen_` gate makes duplicates unreachable here.
     if (!oec.done()) oec.add_point(alpha(from), shares[static_cast<std::size_t>(l)]);
     all_done = all_done && oec.done();
   }
@@ -35,7 +37,7 @@ void Reconstruct::feed(int from, const std::vector<Fp>& shares) {
   done_ = true;
   values_.reserve(static_cast<std::size_t>(L_));
   for (int l = 0; l < L_; ++l)
-    values_.push_back(oecs_[static_cast<std::size_t>(l)]->result()->eval(Fp(0)));
+    values_.push_back(oecs_[static_cast<std::size_t>(l)]->result()->constant_term());
   if (on_values_) on_values_(values_);
 }
 

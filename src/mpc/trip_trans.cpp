@@ -9,6 +9,8 @@ TripTrans::TripTrans(Party& party, const std::string& id, const Ctx& ctx, int d,
     : party_(party), id_(id), ctx_(ctx), d_(d), grid_(std::move(grid)),
       handler_(std::move(on_out)) {
   assert(static_cast<int>(grid_.size()) == 2 * d_ + 1);
+  base_ps_ = pointset(std::vector<Fp>(grid_.begin(), grid_.begin() + d_ + 1));
+  grid_ps_ = pointset(grid_);
 }
 
 void TripTrans::start(std::vector<TripleShare> in) {
@@ -16,10 +18,10 @@ void TripTrans::start(std::vector<TripleShare> in) {
   started_ = true;
   assert(static_cast<int>(in.size()) == 2 * d_ + 1);
   out_ = in;  // first d+1 entries pass through unchanged
-  // Derive shares of X(x_k), Y(x_k) for k = d+1 .. 2d from the first d+1.
-  std::vector<Fp> base_xs(grid_.begin(), grid_.begin() + d_ + 1);
+  // Derive shares of X(x_k), Y(x_k) for k = d+1 .. 2d from the first d+1,
+  // with the weight vectors memoised across all L extraction instances.
   for (int k = d_ + 1; k <= 2 * d_; ++k) {
-    auto wts = lagrange_weights(base_xs, grid_[static_cast<std::size_t>(k)]);
+    const auto& wts = base_ps_->weights_at(grid_[static_cast<std::size_t>(k)]);
     Fp x(0), y(0);
     for (int j = 0; j <= d_; ++j) {
       x += wts[static_cast<std::size_t>(j)] * in[static_cast<std::size_t>(j)].a;
@@ -55,23 +57,21 @@ void TripTrans::start(std::vector<TripleShare> in) {
 }
 
 Fp TripTrans::x_at(Fp p) const {
-  std::vector<Fp> xs(grid_.begin(), grid_.begin() + d_ + 1);
-  auto w = lagrange_weights(xs, p);
+  const auto& w = base_ps_->weights_at(p);
   Fp acc(0);
   for (int j = 0; j <= d_; ++j) acc += w[static_cast<std::size_t>(j)] * out_[static_cast<std::size_t>(j)].a;
   return acc;
 }
 
 Fp TripTrans::y_at(Fp p) const {
-  std::vector<Fp> xs(grid_.begin(), grid_.begin() + d_ + 1);
-  auto w = lagrange_weights(xs, p);
+  const auto& w = base_ps_->weights_at(p);
   Fp acc(0);
   for (int j = 0; j <= d_; ++j) acc += w[static_cast<std::size_t>(j)] * out_[static_cast<std::size_t>(j)].b;
   return acc;
 }
 
 Fp TripTrans::z_at(Fp p) const {
-  auto w = lagrange_weights(grid_, p);
+  const auto& w = grid_ps_->weights_at(p);
   Fp acc(0);
   for (int j = 0; j <= 2 * d_; ++j) acc += w[static_cast<std::size_t>(j)] * out_[static_cast<std::size_t>(j)].c;
   return acc;

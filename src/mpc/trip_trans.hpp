@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/field/kernels.hpp"
 #include "src/field/poly.hpp"
 #include "src/mpc/beaver.hpp"
 #include "src/mpc/sharing.hpp"
@@ -44,6 +45,10 @@ class TripTrans {
   Ctx ctx_;
   int d_;
   std::vector<Fp> grid_;
+  // Cached point sets over the public grid: shared process-wide, so the L
+  // parallel TripExt instances (and every party) precompute the Lagrange
+  // data once instead of per x_at/y_at/z_at call.
+  std::shared_ptr<const PointSet> base_ps_, grid_ps_;
   Handler handler_;
   std::unique_ptr<BeaverBatch> beaver_;
   std::vector<TripleShare> out_;

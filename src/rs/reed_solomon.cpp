@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/field/kernels.hpp"
+
 namespace bobw {
 
 std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
@@ -45,6 +47,19 @@ std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
 std::optional<Poly> rs_decode(int d, int e, const std::vector<Fp>& xs,
                               const std::vector<Fp>& ys) {
   if (xs.size() != ys.size()) throw std::invalid_argument("rs_decode: size mismatch");
+  std::vector<std::vector<Fp>> rows;
+  if (e > 0) {
+    rows.reserve(xs.size());
+    for (Fp x : xs) rows.push_back(power_row(x, d + e));
+  }
+  return rs_decode_prepowered(d, e, xs, ys, rows);
+}
+
+std::optional<Poly> rs_decode_prepowered(int d, int e, const std::vector<Fp>& xs,
+                                         const std::vector<Fp>& ys,
+                                         const std::vector<std::vector<Fp>>& rows) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("rs_decode_prepowered: size mismatch");
   const int m = static_cast<int>(xs.size());
   if (e < 0 || m < d + 1) return std::nullopt;
   if (e == 0) {
@@ -55,30 +70,27 @@ std::optional<Poly> rs_decode(int d, int e, const std::vector<Fp>& xs,
     if (count_agreements(q, xs, ys) == m && q.degree() <= d) return q;
     return std::nullopt;
   }
-  // Berlekamp–Welch: find E(x) monic of degree e and Q(x) of degree <= d+e-1
-  // ... actually deg Q <= d + e, with Q(x_k) = y_k * E(x_k) for all k.
-  // Unknowns: E coefficients e_0..e_{e-1} (monic leading term), Q
-  // coefficients q_0..q_{d+e}. Equations: one per point.
+  // Berlekamp–Welch: find E(x) monic of degree e and Q(x) of degree <= d+e,
+  // with Q(x_k) = y_k * E(x_k) for all k. Unknowns: E coefficients
+  // e_0..e_{e-1} (monic leading term), Q coefficients q_0..q_{d+e}.
+  // Equations: one per point, assembled from the cached power rows.
   const int nq = d + e + 1;
   const int ne = e;  // e_0..e_{e-1}
   std::vector<std::vector<Fp>> A(static_cast<std::size_t>(m),
                                  std::vector<Fp>(static_cast<std::size_t>(nq + ne), Fp(0)));
   std::vector<Fp> rhs(static_cast<std::size_t>(m), Fp(0));
   for (int k = 0; k < m; ++k) {
-    Fp xp(1);
-    for (int j = 0; j < nq; ++j) {
-      A[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] = xp;
-      xp *= xs[static_cast<std::size_t>(k)];
-    }
+    const auto& row = rows[static_cast<std::size_t>(k)];
+    const Fp yk = ys[static_cast<std::size_t>(k)];
+    for (int j = 0; j < nq; ++j)
+      A[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] =
+          row[static_cast<std::size_t>(j)];
     // -y_k * (e_0 + e_1 x + ... + e_{e-1} x^{e-1}) on the lhs,
     // y_k * x^e on the rhs (monic term).
-    Fp xe(1);
-    for (int j = 0; j < ne; ++j) {
+    for (int j = 0; j < ne; ++j)
       A[static_cast<std::size_t>(k)][static_cast<std::size_t>(nq + j)] =
-          -(ys[static_cast<std::size_t>(k)] * xe);
-      xe *= xs[static_cast<std::size_t>(k)];
-    }
-    rhs[static_cast<std::size_t>(k)] = ys[static_cast<std::size_t>(k)] * xe;
+          -(yk * row[static_cast<std::size_t>(j)]);
+    rhs[static_cast<std::size_t>(k)] = yk * row[static_cast<std::size_t>(ne)];
   }
   auto sol = solve_linear(std::move(A), std::move(rhs));
   if (!sol) return std::nullopt;

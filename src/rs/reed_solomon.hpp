@@ -19,6 +19,15 @@ namespace bobw {
 std::optional<Poly> rs_decode(int d, int e, const std::vector<Fp>& xs,
                               const std::vector<Fp>& ys);
 
+/// Berlekamp–Welch with caller-supplied power rows: rows[k] must hold
+/// xs[k]^0 .. xs[k]^w for some w >= d + e (see bobw::power_row). Online
+/// callers (OEC) compute each row once per arriving point and reuse it for
+/// every subsequent decode attempt instead of re-deriving the Vandermonde
+/// fragments. Output-identical to rs_decode on the same points.
+std::optional<Poly> rs_decode_prepowered(int d, int e, const std::vector<Fp>& xs,
+                                         const std::vector<Fp>& ys,
+                                         const std::vector<std::vector<Fp>>& rows);
+
 /// Count how many of the points lie on q.
 int count_agreements(const Poly& q, const std::vector<Fp>& xs,
                      const std::vector<Fp>& ys);

@@ -1,15 +1,29 @@
 #include "src/sim/network.hpp"
 
+#include <stdexcept>
+
 namespace bobw {
 
-DelayModel::DelayModel(NetConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+void NetConfig::validate() const {
+  if (delta < 1) throw std::invalid_argument("NetConfig: delta must be >= 1");
+  if (sync_min_delay > delta)
+    throw std::invalid_argument("NetConfig: sync_min_delay > delta (inverted sync range)");
+  if (async_min > async_max)
+    throw std::invalid_argument("NetConfig: async_min > async_max (inverted async range)");
+}
+
+DelayModel::DelayModel(NetConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {
+  cfg_.validate();
+}
 
 Tick DelayModel::delay_for(const Msg&) {
+  // Degenerate (single-point) ranges skip the RNG draw entirely, keeping the
+  // deterministic event streams of existing seeds unchanged.
   if (cfg_.mode == NetMode::kSynchronous) {
-    if (cfg_.sync_min_delay >= cfg_.delta) return cfg_.delta;
+    if (cfg_.sync_min_delay == cfg_.delta) return cfg_.delta;
     return rng_.next_range(cfg_.sync_min_delay, cfg_.delta);
   }
-  if (cfg_.async_max <= cfg_.async_min) return cfg_.async_min;
+  if (cfg_.async_max == cfg_.async_min) return cfg_.async_min;
   return rng_.next_range(cfg_.async_min, cfg_.async_max);
 }
 

@@ -23,6 +23,12 @@ struct NetConfig {
   // bound Δ is meaningless to the network (parties still use it in timeouts).
   Tick async_min = 1;
   Tick async_max = 4000;  // default: frequently exceeds Δ
+
+  /// Throws std::invalid_argument unless delta >= 1, sync_min_delay <= delta
+  /// and async_min <= async_max. An inverted range used to silently produce
+  /// out-of-range uniform draws in DelayModel; Δ = 0 breaks every
+  /// round-boundary computation (next_multiple divides by it).
+  void validate() const;
 };
 
 /// Draws per-message delays. Deterministic given the RNG stream.

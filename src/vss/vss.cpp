@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/field/kernels.hpp"
+
 namespace bobw {
 
 Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
@@ -318,7 +320,7 @@ void Vss::try_path_w() {
   if (in_w && rows_valid_) {
     std::vector<Fp> out;
     out.reserve(static_cast<std::size_t>(L_));
-    for (const auto& row : rows_) out.push_back(row.eval(Fp(0)));
+    for (const auto& row : rows_) out.push_back(row.constant_term());
     finish(std::move(out));
     return;
   }
@@ -336,7 +338,7 @@ void Vss::try_path_star2() {
   if (in_f && rows_valid_) {
     std::vector<Fp> out;
     out.reserve(static_cast<std::size_t>(L_));
-    for (const auto& row : rows_) out.push_back(row.eval(Fp(0)));
+    for (const auto& row : rows_) out.push_back(row.constant_term());
     finish(std::move(out));
     return;
   }
@@ -357,15 +359,18 @@ void Vss::try_interpolate(const std::vector<int>& /*unused*/) {
   std::vector<Fp> xs;
   xs.reserve(ss.size());
   for (int j : ss) xs.push_back(alpha(j));
+  // One cached weight vector serves all L batched secrets (and every other
+  // party interpolating from the same provider set).
+  auto ps = pointset(xs);
   std::vector<Fp> out;
   out.reserve(static_cast<std::size_t>(L_));
+  std::vector<Fp> ys(ss.size());
   for (int l = 0; l < L_; ++l) {
-    std::vector<Fp> ys;
-    ys.reserve(ss.size());
-    for (int j : ss) ys.push_back((*wsh_[static_cast<std::size_t>(j)])[static_cast<std::size_t>(l)]);
+    for (std::size_t k = 0; k < ss.size(); ++k)
+      ys[k] = (*wsh_[static_cast<std::size_t>(ss[k])])[static_cast<std::size_t>(l)];
     // The wps-shares of parties in F all lie on my row q_i(x); ts+1 of them
     // pin it down exactly (Lemma 4.13 argument) — share = q_i(0).
-    out.push_back(lagrange_eval(xs, ys, Fp(0)));
+    out.push_back(ps->eval(ys, Fp(0)));
   }
   finish(std::move(out));
 }

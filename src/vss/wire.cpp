@@ -40,6 +40,15 @@ Bytes encode_points(const std::vector<Fp>& pts) {
   return w.take();
 }
 
+Bytes encode_row_points(const std::vector<Poly>& rows, Fp at) {
+  std::vector<std::uint64_t> ws;
+  ws.reserve(rows.size());
+  for (const auto& row : rows) ws.push_back(row.eval(at).value());
+  Writer w;
+  w.u64s(ws);
+  return w.take();
+}
+
 std::optional<std::vector<Fp>> decode_points(const Bytes& b, int L) {
   try {
     Reader r(b);

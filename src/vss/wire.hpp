@@ -19,6 +19,11 @@ std::optional<std::vector<Poly>> decode_rows(const Bytes& b, int L, int d);
 Bytes encode_points(const std::vector<Fp>& pts);
 std::optional<std::vector<Fp>> decode_points(const Bytes& b, int L);
 
+/// Evaluate every row polynomial at `at` and encode the L values in one
+/// pass — the per-recipient payload of the WPS point-distribution round,
+/// without materialising the intermediate vector<Fp>.
+Bytes encode_row_points(const std::vector<Poly>& rows, Fp at);
+
 /// OK / NOK(least failing index, claimed value) verdict broadcast.
 struct Verdict {
   bool ok = true;

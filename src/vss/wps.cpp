@@ -185,12 +185,8 @@ void Wps::maybe_send_points() {
   if (!rows_valid_ || points_sent_) return;
   points_sent_ = true;
   at(next_multiple(now(), ctx_.delta), [this] {
-    for (int j = 0; j < n(); ++j) {
-      std::vector<Fp> pts;
-      pts.reserve(static_cast<std::size_t>(L_));
-      for (const auto& row : rows_) pts.push_back(row.eval(alpha(j)));
-      send(j, kPoints, wire::encode_points(pts));
-    }
+    for (int j = 0; j < n(); ++j)
+      send(j, kPoints, wire::encode_row_points(rows_, alpha(j)));
   });
 }
 
@@ -315,7 +311,7 @@ void Wps::try_path_w() {
   if (in_w && rows_valid_) {
     std::vector<Fp> out;
     out.reserve(static_cast<std::size_t>(L_));
-    for (const auto& row : rows_) out.push_back(row.eval(Fp(0)));
+    for (const auto& row : rows_) out.push_back(row.constant_term());
     finish(std::move(out));
     return;
   }
@@ -331,7 +327,7 @@ void Wps::try_path_star2() {
   if (in_f && rows_valid_) {
     std::vector<Fp> out;
     out.reserve(static_cast<std::size_t>(L_));
-    for (const auto& row : rows_) out.push_back(row.eval(Fp(0)));
+    for (const auto& row : rows_) out.push_back(row.constant_term());
     finish(std::move(out));
     return;
   }
@@ -356,6 +352,8 @@ void Wps::feed_oec(int j) {
   bool all_done = true;
   for (int l = 0; l < L_; ++l) {
     auto& oec = *oecs_[static_cast<std::size_t>(l)];
+    // Rejections (duplicate α / already decoded) are harmless here: the
+    // pts_ slot gate guarantees one feed per provider.
     if (!oec.done()) oec.add_point(alpha(j), pts[static_cast<std::size_t>(l)]);
     all_done = all_done && oec.done();
   }
@@ -363,7 +361,8 @@ void Wps::feed_oec(int j) {
   // Recovered my row q_i(x) for each ℓ; the wps-share is q_i(0).
   std::vector<Fp> out;
   out.reserve(static_cast<std::size_t>(L_));
-  for (int l = 0; l < L_; ++l) out.push_back(oecs_[static_cast<std::size_t>(l)]->result()->eval(Fp(0)));
+  for (int l = 0; l < L_; ++l)
+    out.push_back(oecs_[static_cast<std::size_t>(l)]->result()->constant_term());
   finish(std::move(out));
 }
 

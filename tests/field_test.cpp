@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/common/codec.hpp"
 #include "src/field/bivariate.hpp"
 #include "src/field/fp.hpp"
@@ -101,6 +103,18 @@ TEST(Poly, InterpolateRecoversPolynomial) {
     }
     EXPECT_EQ(Poly::interpolate(xs, ys), q) << "degree " << d;
   }
+}
+
+TEST(Poly, InterpolateRejectsDuplicateXs) {
+  // Regression: the seed silently divided by inv(0) = 0 on duplicate
+  // x-coordinates and returned a garbage polynomial.
+  std::vector<Fp> xs{Fp(1), Fp(2), Fp(1)};
+  std::vector<Fp> ys{Fp(5), Fp(6), Fp(7)};
+  EXPECT_THROW(Poly::interpolate(xs, ys), std::invalid_argument);
+  EXPECT_THROW(lagrange_weights(xs, Fp(9)), std::invalid_argument);
+  EXPECT_THROW(lagrange_eval(xs, ys, Fp(9)), std::invalid_argument);
+  // Distinct points (even with matching ys) stay fine.
+  EXPECT_NO_THROW(Poly::interpolate({Fp(1), Fp(2), Fp(3)}, {Fp(5), Fp(5), Fp(5)}));
 }
 
 TEST(Poly, RandomWithSecretFixesConstantTerm) {

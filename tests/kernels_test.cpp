@@ -1,0 +1,158 @@
+// Differential tests: the batched field kernels (src/field/kernels.hpp) and
+// the incremental OEC must be bit-identical to the frozen scalar seed paths
+// (src/rs/reference.hpp) across random inputs — same decisions at the same
+// arrivals, same polynomials, same weights, same inverses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/field/kernels.hpp"
+#include "src/field/poly.hpp"
+#include "src/rs/oec.hpp"
+#include "src/rs/reference.hpp"
+
+namespace bobw {
+namespace {
+
+std::vector<Fp> random_distinct_xs(std::size_t k, Rng& rng) {
+  std::vector<Fp> xs;
+  while (xs.size() < k) {
+    Fp x = Fp::random(rng);
+    if (std::find(xs.begin(), xs.end(), x) == xs.end()) xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(BatchInverse, MatchesFermatInversePerElement) {
+  Rng rng(2001);
+  for (std::size_t k : {0u, 1u, 2u, 7u, 64u, 129u}) {
+    std::vector<Fp> xs;
+    for (std::size_t i = 0; i < k; ++i) xs.push_back(Fp::random(rng));
+    // Sprinkle zeros: batch inversion must pass them through like
+    // Fp::inv()'s 0 -> 0, not poison the whole batch.
+    if (k >= 2) xs[k / 2] = Fp(0);
+    std::vector<Fp> expect = xs;
+    for (auto& x : expect) x = x.inv();
+    std::vector<Fp> got = xs;
+    batch_inverse(got);
+    EXPECT_EQ(got, expect) << "k=" << k;
+  }
+}
+
+TEST(PointSetDiff, WeightsMatchScalarSeed) {
+  Rng rng(2002);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.next_below(12));
+    auto xs = random_distinct_xs(k, rng);
+    PointSet ps(xs);
+    // Random points, plus a set member (degenerate indicator case) and 0
+    // (the share-opening point).
+    std::vector<Fp> ats{Fp::random(rng), Fp::random(rng), xs[0], Fp(0)};
+    for (Fp at : ats) {
+      EXPECT_EQ(ps.weights_at(at), ref::lagrange_weights(xs, at));
+      EXPECT_EQ(lagrange_weights(xs, at), ref::lagrange_weights(xs, at));
+    }
+  }
+}
+
+TEST(PointSetDiff, InterpolateMatchesScalarSeed) {
+  Rng rng(2003);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.next_below(12));
+    auto xs = random_distinct_xs(k, rng);
+    std::vector<Fp> ys;
+    for (std::size_t i = 0; i < k; ++i) ys.push_back(Fp::random(rng));
+    Poly expect = ref::interpolate(xs, ys);
+    EXPECT_EQ(PointSet(xs).interpolate(ys), expect);
+    EXPECT_EQ(Poly::interpolate(xs, ys), expect);
+    // And through the process-wide cache (twice: cold, then memoised).
+    auto ps = pointset(xs);
+    EXPECT_EQ(ps->interpolate(ys), expect);
+    EXPECT_EQ(pointset(xs)->interpolate(ys), expect);
+  }
+}
+
+TEST(PointSetDiff, EvalMatchesScalarSeed) {
+  Rng rng(2004);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.next_below(10));
+    auto xs = random_distinct_xs(k, rng);
+    std::vector<Fp> ys;
+    for (std::size_t i = 0; i < k; ++i) ys.push_back(Fp::random(rng));
+    Fp at = Fp::random(rng);
+    PointSet ps(xs);
+    EXPECT_EQ(ps.eval(ys, at), ref::lagrange_eval(xs, ys, at));
+    EXPECT_EQ(ps.eval(ys, Fp(0)), ref::lagrange_eval(xs, ys, Fp(0)));
+    EXPECT_EQ(lagrange_eval(xs, ys, at), ref::lagrange_eval(xs, ys, at));
+  }
+}
+
+TEST(OecDiff, MatchesScalarSeedOnRandomStreams) {
+  // Streams over the full protocol grid: up to t corrupt points at random
+  // positions, arrival order shuffled, occasional duplicate-x injections.
+  // The incremental OEC must make the same accept/decode decision at every
+  // single arrival and produce the same polynomial.
+  Rng rng(2005);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const int d = 1 + static_cast<int>(rng.next_below(5));
+    const int t = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(d) + 1));
+    const int total = d + 2 * t + 1;
+    Poly q = Poly::random(d, rng);
+    const int errors = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(t) + 1));
+    std::vector<int> order(static_cast<std::size_t>(total));
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[static_cast<std::size_t>(rng.next_below(i))]);
+    Oec fast(d, t);
+    ref::Oec slow(d, t);
+    for (int idx = 0; idx < total; ++idx) {
+      const int k = order[static_cast<std::size_t>(idx)];
+      Fp y = q.eval(alpha(k));
+      if (k < errors) y += Fp(1) + Fp::random(rng);
+      auto got = fast.add_point(alpha(k), y);
+      auto expect = slow.add_point(alpha(k), y);
+      ASSERT_EQ(got.decoded.has_value(), expect.has_value())
+          << "seed=" << seed << " arrival=" << idx;
+      if (got.decoded) {
+        EXPECT_EQ(*got.decoded, *expect);
+      }
+      EXPECT_EQ(fast.done(), slow.done());
+      if (idx == total / 2) {
+        // Duplicate mid-stream: the seed silently swallows it, the new API
+        // names it — but both must leave the decode state untouched.
+        auto dup = fast.add_point(alpha(k), y + Fp(1));
+        EXPECT_FALSE(slow.add_point(alpha(k), y + Fp(1)).has_value());
+        EXPECT_EQ(dup.status,
+                  fast.done() ? Oec::Add::kAlreadyDecoded : Oec::Add::kDuplicateX);
+        EXPECT_EQ(fast.points_received(), slow.points_received());
+      }
+    }
+    ASSERT_TRUE(fast.done()) << "seed=" << seed;
+    EXPECT_EQ(*fast.result(), q) << "seed=" << seed;
+    EXPECT_EQ(*slow.result(), q) << "seed=" << seed;
+  }
+}
+
+TEST(OecDiff, MatchesScalarSeedAtProtocolScale) {
+  // One n = 64 sized stream (d = t = 21, the ts = (n-1)/3 regime) with the
+  // full t corrupt points arriving first — the worst case for the decoder.
+  Rng rng(2006);
+  const int n = 64, t = (n - 1) / 3, d = t;
+  Poly q = Poly::random(d, rng);
+  Oec fast(d, t);
+  ref::Oec slow(d, t);
+  for (int k = 0; k < n; ++k) {
+    Fp y = q.eval(alpha(k));
+    if (k < t) y += Fp(1) + Fp::random(rng);
+    auto got = fast.add_point(alpha(k), y);
+    auto expect = slow.add_point(alpha(k), y);
+    ASSERT_EQ(got.decoded.has_value(), expect.has_value()) << "arrival " << k;
+    if (fast.done() && slow.done()) break;
+  }
+  ASSERT_TRUE(fast.done());
+  EXPECT_EQ(*fast.result(), q);
+}
+
+}  // namespace
+}  // namespace bobw

@@ -67,21 +67,46 @@ TEST(RsDecode, ZeroPolynomialEdgeCase) {
   EXPECT_EQ(rec->degree(), -1);
 }
 
+TEST(RsDecode, MaximalErrorCountAtExactPointBudget) {
+  // e = t with exactly d + 2e + 1 points — the tightest regime OEC ever
+  // drives the decoder into (m = d + 2t + 1, e_max = t).
+  for (int t = 1; t <= 5; ++t) {
+    const int d = t, e = t;
+    Rng rng(static_cast<std::uint64_t>(300 + t));
+    Poly q = Poly::random(d, rng);
+    const int m = d + 2 * e + 1;
+    std::vector<Fp> xs, ys;
+    for (int k = 0; k < m; ++k) {
+      xs.push_back(alpha(k));
+      ys.push_back(q.eval(alpha(k)));
+    }
+    // Exactly e corrupted points, scattered: every other position.
+    for (int k = 0; k < e; ++k)
+      ys[static_cast<std::size_t>(2 * k)] += Fp(3 + static_cast<std::uint64_t>(k));
+    auto rec = rs_decode(d, e, xs, ys);
+    ASSERT_TRUE(rec) << "t=" << t;
+    EXPECT_EQ(*rec, q) << "t=" << t;
+  }
+}
+
 TEST(Oec, RecoversAtMinimumHonestPoints) {
   // OEC(d, t): needs d+t+1 agreeing points (paper §2.1).
   Rng rng(77);
   const int d = 2, t = 2;
   Poly q = Poly::random(d, rng);
   Oec oec(d, t);
-  // Feed d+t = 4 honest points: not enough yet.
+  // Feed d+t = 4 honest points: accepted, but decode still pending.
   for (int k = 0; k < d + t; ++k) {
-    EXPECT_FALSE(oec.add_point(alpha(k), q.eval(alpha(k))));
+    auto out = oec.add_point(alpha(k), q.eval(alpha(k)));
+    EXPECT_EQ(out.status, Oec::Add::kAccepted);
+    EXPECT_FALSE(out.decoded);
     EXPECT_FALSE(oec.done());
   }
   // The (d+t+1)-th honest point completes recovery.
-  auto rec = oec.add_point(alpha(d + t), q.eval(alpha(d + t)));
-  ASSERT_TRUE(rec);
-  EXPECT_EQ(*rec, q);
+  auto out = oec.add_point(alpha(d + t), q.eval(alpha(d + t)));
+  EXPECT_EQ(out.status, Oec::Add::kAccepted);
+  ASSERT_TRUE(out.decoded);
+  EXPECT_EQ(*out.decoded, q);
   EXPECT_TRUE(oec.done());
 }
 
@@ -90,31 +115,57 @@ TEST(Oec, ToleratesEarlyCorruptPoints) {
   const int d = 3, t = 3;
   Poly q = Poly::random(d, rng);
   Oec oec(d, t);
-  // t corrupt points arrive first.
-  for (int k = 0; k < t; ++k) EXPECT_FALSE(oec.add_point(alpha(k), q.eval(alpha(k)) + Fp(9)));
+  // t corrupt points arrive first — accepted (they cannot be recognised as
+  // corrupt yet), decode pending.
+  for (int k = 0; k < t; ++k) {
+    auto out = oec.add_point(alpha(k), q.eval(alpha(k)) + Fp(9));
+    EXPECT_EQ(out.status, Oec::Add::kAccepted);
+    EXPECT_FALSE(out.decoded);
+  }
   // Then honest points trickle in; recovery must happen once d+t+1 honest
   // points are present (total d+2t+1).
   std::optional<Poly> rec;
   for (int k = t; k < d + 2 * t + 1; ++k) {
-    rec = oec.add_point(alpha(k), q.eval(alpha(k)));
+    rec = oec.add_point(alpha(k), q.eval(alpha(k))).decoded;
     if (rec) break;
   }
   ASSERT_TRUE(rec);
   EXPECT_EQ(*rec, q);
 }
 
-TEST(Oec, IgnoresDuplicateContributors) {
+TEST(Oec, ReportsDuplicateContributors) {
   Rng rng(79);
   const int d = 1, t = 1;
   Poly q = Poly::random(d, rng);
   Oec oec(d, t);
-  EXPECT_FALSE(oec.add_point(alpha(0), q.eval(alpha(0))));
-  // Same x again (conflicting value) must be ignored, not crash or confuse.
-  EXPECT_FALSE(oec.add_point(alpha(0), q.eval(alpha(0)) + Fp(4)));
-  EXPECT_FALSE(oec.add_point(alpha(1), q.eval(alpha(1))));
+  EXPECT_EQ(oec.add_point(alpha(0), q.eval(alpha(0))).status, Oec::Add::kAccepted);
+  // Same x again (conflicting value): explicitly rejected as a duplicate —
+  // distinguishable from an accepted-but-pending contribution — and must
+  // not influence the decode.
+  auto dup = oec.add_point(alpha(0), q.eval(alpha(0)) + Fp(4));
+  EXPECT_EQ(dup.status, Oec::Add::kDuplicateX);
+  EXPECT_FALSE(dup.decoded);
+  EXPECT_EQ(oec.points_received(), 1);
+  EXPECT_EQ(oec.add_point(alpha(1), q.eval(alpha(1))).status, Oec::Add::kAccepted);
   auto rec = oec.add_point(alpha(2), q.eval(alpha(2)));
-  ASSERT_TRUE(rec);
-  EXPECT_EQ(*rec, q);
+  EXPECT_EQ(rec.status, Oec::Add::kAccepted);
+  ASSERT_TRUE(rec.decoded);
+  EXPECT_EQ(*rec.decoded, q);
+}
+
+TEST(Oec, ReportsPointsAfterDecodeAsRejected) {
+  Rng rng(80);
+  const int d = 1, t = 1;
+  Poly q = Poly::random(d, rng);
+  Oec oec(d, t);
+  for (int k = 0; k < d + t + 1; ++k) oec.add_point(alpha(k), q.eval(alpha(k)));
+  ASSERT_TRUE(oec.done());
+  // A late (even honest) point is rejected with an explicit status, not
+  // silently conflated with "decode pending".
+  auto late = oec.add_point(alpha(d + t + 1), q.eval(alpha(d + t + 1)));
+  EXPECT_EQ(late.status, Oec::Add::kAlreadyDecoded);
+  EXPECT_FALSE(late.decoded);
+  EXPECT_EQ(oec.points_received(), d + t + 1);
 }
 
 TEST(Oec, NeverReturnsWrongPolynomialUnderMaxCorruption) {
@@ -130,7 +181,7 @@ TEST(Oec, NeverReturnsWrongPolynomialUnderMaxCorruption) {
       bool corrupt = k < t;
       Fp y = q.eval(alpha(k));
       if (corrupt) y += Fp::random(rng);
-      rec = oec.add_point(alpha(k), y);
+      rec = oec.add_point(alpha(k), y).decoded;
     }
     ASSERT_TRUE(rec) << "seed " << seed;
     EXPECT_EQ(*rec, q) << "seed " << seed;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/sim/instance.hpp"
+#include "src/sim/network.hpp"
 #include "tests/harness.hpp"
 
 namespace bobw {
@@ -38,6 +41,42 @@ TEST(EventQueue, RespectsMaxTime) {
   q.run(/*max_time=*/15);
   EXPECT_EQ(ran, 1);
   EXPECT_FALSE(q.empty());
+}
+
+TEST(NetConfig, RejectsInvertedDelayRanges) {
+  // Regression: inverted ranges used to silently feed next_range(lo, hi)
+  // with lo > hi, producing out-of-range uniform draws.
+  NetConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_NO_THROW(DelayModel(ok, 1));
+
+  NetConfig bad_sync;
+  bad_sync.delta = 1000;
+  bad_sync.sync_min_delay = 1001;  // > delta
+  EXPECT_THROW(bad_sync.validate(), std::invalid_argument);
+  EXPECT_THROW(DelayModel(bad_sync, 1), std::invalid_argument);
+
+  NetConfig bad_async;
+  bad_async.mode = NetMode::kAsynchronous;
+  bad_async.async_min = 4000;
+  bad_async.async_max = 1;  // inverted
+  EXPECT_THROW(bad_async.validate(), std::invalid_argument);
+  EXPECT_THROW(DelayModel(bad_async, 1), std::invalid_argument);
+
+  NetConfig zero_delta;
+  zero_delta.delta = 0;  // breaks next_multiple round arithmetic
+  zero_delta.sync_min_delay = 0;
+  EXPECT_THROW(zero_delta.validate(), std::invalid_argument);
+
+  // Degenerate-but-valid single-point ranges are accepted and constant.
+  NetConfig point;
+  point.mode = NetMode::kAsynchronous;
+  point.async_min = 7;
+  point.async_max = 7;
+  EXPECT_NO_THROW(point.validate());
+  DelayModel dm(point, 3);
+  Msg m;
+  EXPECT_EQ(dm.delay_for(m), 7u);
 }
 
 // Minimal echo instance for routing tests.

@@ -30,7 +30,9 @@ TEST_P(OecGrid, RecoversWithErrorsAnywhere) {
     const bool corrupt = k >= err_offset && k < err_offset + t;
     Fp y = q.eval(alpha(k));
     if (corrupt) y += Fp(1) + Fp::random(rng);
-    rec = oec.add_point(alpha(k), y);
+    auto out = oec.add_point(alpha(k), y);
+    EXPECT_EQ(out.status, Oec::Add::kAccepted);
+    rec = out.decoded;
     ++fed;
   }
   ASSERT_TRUE(rec);
