@@ -6,7 +6,6 @@
 //   ./bench_micro --emit-json OUT.json   # comparison suite -> "micro_kernels"
 #include <benchmark/benchmark.h>
 
-#include <cstring>
 #include <string>
 
 #include "bench/bench_util.hpp"
@@ -15,6 +14,7 @@
 #include "src/field/poly.hpp"
 #include "src/graph/star.hpp"
 #include "src/rs/oec.hpp"
+#include "src/rs/oec_bank.hpp"
 #include "src/rs/reed_solomon.hpp"
 #include "src/rs/reference.hpp"
 
@@ -49,6 +49,62 @@ void run_oec_stream(int n, int d, int t, const Points& p) {
     oec.add_point(p.xs[static_cast<std::size_t>(k)], y);
     if (oec.done()) break;
   }
+}
+
+// An L-lane batched opening over the shared α-grid: lane l's points lie on
+// its own random degree-d polynomial, and the first `corrupt_first` senders
+// deliver corrupt values in EVERY lane (the "t corrupt parties" shape).
+struct BankPoints {
+  std::vector<Fp> xs;
+  std::vector<std::vector<Fp>> ys;  // ys[k] = the L lane values of sender k
+};
+
+BankPoints bank_points(int n, int d, int L, int corrupt_first, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Poly> qs;
+  for (int l = 0; l < L; ++l) qs.push_back(Poly::random(d, rng));
+  BankPoints p;
+  p.ys.assign(static_cast<std::size_t>(n), std::vector<Fp>(static_cast<std::size_t>(L)));
+  for (int k = 0; k < n; ++k) {
+    p.xs.push_back(alpha(k));
+    for (int l = 0; l < L; ++l) {
+      Fp y = qs[static_cast<std::size_t>(l)].eval(alpha(k));
+      if (k < corrupt_first) y += Fp(static_cast<std::uint64_t>(9 + l));
+      p.ys[static_cast<std::size_t>(k)][static_cast<std::size_t>(l)] = y;
+    }
+  }
+  return p;
+}
+
+// The PR 2 per-instance path: L independent incremental OECs, each arrival
+// fed to every not-yet-done lane, values read per lane — exactly what the
+// batched consumers did before OecBank.
+Fp run_per_instance(const BankPoints& p, int d, int t, int L) {
+  std::vector<Oec> oecs;
+  oecs.reserve(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) oecs.emplace_back(d, t);
+  for (std::size_t k = 0; k < p.xs.size(); ++k) {
+    bool all_done = true;
+    for (int l = 0; l < L; ++l) {
+      auto& oec = oecs[static_cast<std::size_t>(l)];
+      if (!oec.done()) oec.add_point(p.xs[k], p.ys[k][static_cast<std::size_t>(l)]);
+      all_done = all_done && oec.done();
+    }
+    if (all_done) break;
+  }
+  Fp acc(0);
+  for (int l = 0; l < L; ++l)
+    acc += oecs[static_cast<std::size_t>(l)].result()->constant_term();
+  return acc;
+}
+
+Fp run_bank(const BankPoints& p, int d, int t, int L) {
+  OecBank bank(d, t, L);
+  for (std::size_t k = 0; k < p.xs.size() && !bank.all_done(); ++k)
+    bank.add_point(p.xs[k], p.ys[k]);
+  Fp acc(0);
+  for (int l = 0; l < L; ++l) acc += bank.value(l);
+  return acc;
 }
 
 // -------------------------------------------------- google-benchmark suite --
@@ -116,6 +172,14 @@ void BM_OecDecodeStream(benchmark::State& state) {
   for (auto _ : state) run_oec_stream<Oec>(n, d, t, p);
 }
 BENCHMARK(BM_OecDecodeStream)->Arg(16)->Arg(64);
+
+void BM_OecBankOpen(benchmark::State& state) {
+  const int n = 64, t = (n - 1) / 3, d = t;
+  const int L = static_cast<int>(state.range(0));
+  auto p = bank_points(n, d, L, 0, 21);
+  for (auto _ : state) benchmark::DoNotOptimize(run_bank(p, d, t, L));
+}
+BENCHMARK(BM_OecBankOpen)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_StarFinding(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -206,6 +270,42 @@ int emit_comparison(const std::string& path) {
     push("oec_decode_n64", seed, kernel);
   }
 
+  {  // L = 64 batched opening, honest senders: the OEC bank against the
+     // PR 2 per-instance path (L independent incremental OECs). This is the
+     // shape every VSS open / Beaver opening / output reconstruction has.
+    const int L = 64;
+    auto p = bank_points(n, d, L, 0, 15);
+    double perinst = bench::time_ns_per_iter(
+        [&] { benchmark::DoNotOptimize(run_per_instance(p, d, t, L)); }, 20);
+    double bank = bench::time_ns_per_iter(
+        [&] { benchmark::DoNotOptimize(run_bank(p, d, t, L)); }, 100);
+    push("bank_open_L64_n64", perinst, bank);
+  }
+
+  {  // Same opening with the full t corrupt senders arriving first in every
+     // lane — the error path's batched Berlekamp–Welch elimination.
+    const int L = 64;
+    auto p = bank_points(n, d, L, t, 16);
+    double perinst = bench::time_ns_per_iter(
+        [&] { benchmark::DoNotOptimize(run_per_instance(p, d, t, L)); }, 1, 3);
+    double bank = bench::time_ns_per_iter(
+        [&] { benchmark::DoNotOptimize(run_bank(p, d, t, L)); }, 2, 3);
+    push("bank_open_err_L64_n64", perinst, bank);
+  }
+
+  {  // Per-lane cost of an honest batched open as L grows: the bank's
+     // shared-grid work amortises, so the curve must flatten towards the
+     // L = 64 point (the per-instance path is flat by construction).
+    for (int L : {1, 4, 16, 64}) {
+      auto p = bank_points(n, d, L, 0, 17);
+      double bank = bench::time_ns_per_iter(
+          [&] { benchmark::DoNotOptimize(run_bank(p, d, t, L)); }, L >= 16 ? 100 : 400);
+      out.push_back({"bank_open_perlane_ns_L" + std::to_string(L), bank / L});
+      std::printf("%-24s %12.0f ns/lane\n",
+                  ("bank_open_perlane_L" + std::to_string(L)).c_str(), bank / L);
+    }
+  }
+
   bench::emit_json_section(path, "micro_kernels", out);
   return 0;
 }
@@ -214,14 +314,8 @@ int emit_comparison(const std::string& path) {
 }  // namespace bobw
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--emit-json") != 0) continue;
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "--emit-json requires an output path\n");
-      return 1;
-    }
-    return bobw::emit_comparison(argv[i + 1]);
-  }
+  if (std::string path = bobw::bench::parse_emit_json(argc, argv); !path.empty())
+    return bobw::emit_comparison(path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

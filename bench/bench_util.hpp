@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -90,6 +91,21 @@ struct JsonMetric {
   std::string name;
   double value;
 };
+
+/// Scan argv for `--emit-json PATH` (the shared flag of every bench binary
+/// that appends to a BENCH_*.json trajectory file). Returns the path, or ""
+/// when the flag is absent; prints to stderr and exits 1 on a missing path.
+inline std::string parse_emit_json(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--emit-json") continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--emit-json requires an output path\n");
+      std::exit(1);
+    }
+    return argv[i + 1];
+  }
+  return "";
+}
 
 inline void emit_json_section(const std::string& path, const std::string& section,
                               const std::vector<JsonMetric>& metrics) {

@@ -18,9 +18,10 @@ namespace {
 struct Sample {
   Tick first = 0, last = 0;
   int outputs = 0;
+  double wall_ms = 0;  // host wall-clock of the whole simulated run
 };
 
-Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed) {
+Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed, int L = 1) {
   const int ts = (n - 1) / 3;
   auto w = bench::make_world(n, ts, 0, mode, nullptr, seed);
   std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(n));
@@ -29,14 +30,18 @@ Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed) {
     auto& slot = t[static_cast<std::size_t>(i)];
     auto* world = &w;
     inst[static_cast<std::size_t>(i)] = std::make_unique<Vss>(
-        w.party(i), "vss", 0, 1, w.ctx, 0,
+        w.party(i), "vss", 0, L, w.ctx, 0,
         [&slot, world](const std::vector<Fp>&) { slot = world->sim->now(); });
   }
   Rng rng(seed);
-  Poly q = Poly::random(ts, rng);
-  w.party(0).at(dealer_delay, [&] { inst[0]->deal({q}); });
+  std::vector<Poly> qs;
+  for (int l = 0; l < L; ++l) qs.push_back(Poly::random(ts, rng));
+  w.party(0).at(dealer_delay, [&] { inst[0]->deal(qs); });
+  const auto t0 = std::chrono::steady_clock::now();
   w.sim->run();
+  const auto t1 = std::chrono::steady_clock::now();
   Sample s;
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   s.first = ~Tick{0};
   for (int i = 0; i < n; ++i) {
     if (!t[static_cast<std::size_t>(i)]) continue;
@@ -52,15 +57,7 @@ Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed) {
 int main(int argc, char** argv) {
   // --emit-json <path>: also append a "vss_latency" section to the
   // BENCH_*.json perf-trajectory file (see bench/bench_util.hpp).
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) != "--emit-json") continue;
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "--emit-json requires an output path\n");
-      return 1;
-    }
-    json_path = argv[++i];
-  }
+  std::string json_path = bench::parse_emit_json(argc, argv);
   std::vector<bench::JsonMetric> metrics;
 
   std::printf("F2: VSS share-delivery time (Delta units) — bound T_VSS\n");
@@ -87,7 +84,24 @@ int main(int argc, char** argv) {
   bench::rule();
   std::printf("expectation: honest sync column <= T_VSS; late dealer exceeds the\n"
               "deadline but all honest parties finish within a small spread;\n"
-              "async column finite (eventual delivery).\n");
+              "async column finite (eventual delivery).\n\n");
+
+  // Batched sharing: host wall-clock of a whole n = 7 sync honest-dealer run
+  // as the batch width L grows. The protocol tick latency is L-independent;
+  // the per-polynomial wall cost must flatten as the shared-grid kernels
+  // (cached PointSets, the OEC bank) amortise across the batch.
+  std::printf("batched sharing wall-clock (n = 7, sync, honest dealer)\n");
+  bench::rule();
+  std::printf("%6s | %12s | %14s\n", "L", "wall ms", "ms per poly");
+  bench::rule();
+  for (int L : {1, 16, 64}) {
+    auto s = run_vss(7, NetMode::kSynchronous, 0, 4, L);
+    std::printf("%6d | %12.2f | %14.3f\n", L, s.wall_ms, s.wall_ms / L);
+    const std::string suffix = "_L" + std::to_string(L);
+    metrics.push_back({"vss_wall_ms_n7" + suffix, s.wall_ms});
+    metrics.push_back({"vss_wall_ms_per_poly_n7" + suffix, s.wall_ms / L});
+  }
+  bench::rule();
   if (!json_path.empty()) bench::emit_json_section(json_path, "vss_latency", metrics);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/field/kernels.hpp"
+
 namespace bobw {
 
 SymBivariate SymBivariate::random_embedding(int d, const Poly& q, Rng& rng) {
@@ -58,10 +60,16 @@ SymBivariate SymBivariate::from_rows(int d, const std::vector<Fp>& ys,
   SymBivariate Q;
   Q.r_.assign(m, std::vector<Fp>(m, Fp(0)));
   std::vector<Fp> xs(ys.begin(), ys.begin() + static_cast<long>(m));
+  // All d+1 coefficient rows interpolate through the SAME y-grid (a fixed
+  // public α subset), so one process-wide cached PointSet serves every row
+  // of every reconstruction over that grid instead of re-deriving the
+  // Lagrange data per row. Bit-identical to the per-row seed path
+  // (differential test in tests/kernels_test.cpp).
+  auto ps = pointset(xs);
+  std::vector<Fp> vals(m);
   for (std::size_t i = 0; i < m; ++i) {
-    std::vector<Fp> vals(m);
     for (std::size_t k = 0; k < m; ++k) vals[k] = rows[k].coeff(static_cast<int>(i));
-    Poly ci = Poly::interpolate(xs, vals);
+    Poly ci = ps->interpolate(vals);
     for (std::size_t j = 0; j < m; ++j) Q.r_[i][j] = ci.coeff(static_cast<int>(j));
   }
   return Q;

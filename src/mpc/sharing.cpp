@@ -7,8 +7,7 @@ namespace bobw {
 Reconstruct::Reconstruct(Party& party, std::string id, int L, const Ctx& ctx, Handler on_values)
     : Instance(party, std::move(id)), L_(L), ctx_(ctx), on_values_(std::move(on_values)) {
   seen_.assign(static_cast<std::size_t>(n()), 0);
-  for (int l = 0; l < L_; ++l)
-    oecs_.push_back(std::make_unique<Oec>(ctx_.ts, ctx_.ts));
+  bank_ = std::make_unique<OecBank>(ctx_.ts, ctx_.ts, L_);
 }
 
 void Reconstruct::start(const std::vector<Fp>& my_shares) {
@@ -25,19 +24,14 @@ void Reconstruct::on_message(const Msg& m) {
 }
 
 void Reconstruct::feed(int from, const std::vector<Fp>& shares) {
-  bool all_done = true;
-  for (int l = 0; l < L_; ++l) {
-    auto& oec = *oecs_[static_cast<std::size_t>(l)];
-    // A rejected contribution (duplicate α / already decoded) is simply
-    // dropped; the per-sender `seen_` gate makes duplicates unreachable here.
-    if (!oec.done()) oec.add_point(alpha(from), shares[static_cast<std::size_t>(l)]);
-    all_done = all_done && oec.done();
-  }
-  if (!all_done) return;
+  // A rejected arrival (duplicate α / all lanes decoded) is simply dropped;
+  // the per-sender `seen_` gate makes duplicates unreachable here, and the
+  // bank internally skips lanes that already decoded.
+  bank_->add_point(alpha(from), shares);
+  if (!bank_->all_done()) return;
   done_ = true;
   values_.reserve(static_cast<std::size_t>(L_));
-  for (int l = 0; l < L_; ++l)
-    values_.push_back(oecs_[static_cast<std::size_t>(l)]->result()->constant_term());
+  for (int l = 0; l < L_; ++l) values_.push_back(bank_->value(l));
   if (on_values_) on_values_(values_);
 }
 

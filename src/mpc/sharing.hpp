@@ -12,7 +12,7 @@
 
 #include "src/core/timing.hpp"
 #include "src/field/fp.hpp"
-#include "src/rs/oec.hpp"
+#include "src/rs/oec_bank.hpp"
 #include "src/sim/instance.hpp"
 
 namespace bobw {
@@ -43,7 +43,10 @@ class Reconstruct : public Instance {
   int L_;
   Ctx ctx_;
   Handler on_values_;
-  std::vector<std::unique_ptr<Oec>> oecs_;
+  // One OEC bank over the shared α-grid: per sender the power row, the
+  // duplicate scan and the head-interpolant weights are computed once and
+  // reused by all L lanes (see src/rs/oec_bank.hpp).
+  std::unique_ptr<OecBank> bank_;
   std::vector<char> seen_;
   std::vector<Fp> values_;
   bool done_ = false;

@@ -1,62 +1,15 @@
 #include "src/rs/oec.hpp"
 
-#include "src/rs/reed_solomon.hpp"
+#include <span>
 
 namespace bobw {
 
-Oec::Oec(int d, int t) : d_(d), t_(t) {}
-
 Oec::Outcome Oec::add_point(Fp x, Fp y) {
-  if (result_) return {Add::kAlreadyDecoded, std::nullopt};
-  for (auto& seen : xs_)
-    if (seen == x) return {Add::kDuplicateX, std::nullopt};
-  xs_.push_back(x);
-  ys_.push_back(y);
-  rows_.push_back(power_row(x, d_ + t_));
-  if (head_q_) {
-    if (head_q_->eval(x) == y) ++head_agree_;
-  } else if (points_received() == d_ + 1) {
-    // xs_ are pairwise distinct by the duplicate check, so interpolation
-    // never throws. Deliberately NOT routed through the process-wide
-    // pointset() cache: the first d+1 arrivals are delay-ordered, so the
-    // keys are near-unique across instances and would only pollute the
-    // cache of genuinely shared (fixed-order) α/β sets.
-    head_q_ = Poly::interpolate(xs_, ys_);
-    head_agree_ = d_ + 1;
-  }
-  return {Add::kAccepted, try_decode()};
-}
-
-std::optional<Poly> Oec::try_decode() {
-  const int m = points_received();
-  if (m < d_ + t_ + 1) return std::nullopt;
-  // With r = m - (d_ + t_ + 1) points beyond the minimum, up to r of the
-  // received points can be erroneous while still leaving d+t+1 honest
-  // agreeing points; BW with e = floor((m - d - 1) / 2) covers every case
-  // where errors <= t and m >= d + t + 1 + errors.
-  const int e_max = std::min(t_, (m - d_ - 1) / 2);
-  // Whenever m <= d + 2t + 1 (always, for streams of at most n = 3t+1
-  // contributors with d = t), any degree-<=d polynomial passing the
-  // (d+t+1)-agreement acceptance test disagrees with at most
-  // b <= m-(d+t+1) <= min(t, (m-d-1)/2) = e_max points, and two such
-  // polynomials would share m - 2e_max >= d+1 points — so the acceptable
-  // polynomial is unique and the single BW attempt at e_max finds exactly
-  // it. Trying the cheap head interpolant first and skipping e < e_max is
-  // therefore decision- and output-identical to the seed's descending loop.
-  const bool unique_regime = m <= d_ + 2 * t_ + 1;
-  if (unique_regime && head_q_ && head_agree_ >= d_ + t_ + 1) {
-    result_ = head_q_;
-    return result_;
-  }
-  for (int e = e_max; e >= 0; --e) {
-    auto q = rs_decode_prepowered(d_, e, xs_, ys_, rows_);
-    if (q && count_agreements(*q, xs_, ys_) >= d_ + t_ + 1) {
-      result_ = q;
-      return result_;
-    }
-    if (unique_regime) break;  // e < e_max cannot newly succeed (see above)
-  }
-  return std::nullopt;
+  auto banked = bank_.add_point(x, std::span<const Fp>(&y, 1));
+  Outcome out;
+  out.status = banked.status;
+  if (!banked.decoded.empty()) out.decoded = *bank_.result(0);
+  return out;
 }
 
 }  // namespace bobw

@@ -6,23 +6,20 @@
 // that agrees with at least d + t + 1 of the received points — those must
 // include d+1 honest points, which pin q down uniquely.
 //
-// This implementation is incremental: each accepted point computes its
-// Berlekamp–Welch power row once (see bobw::power_row) and caches the
-// interpolant through the first d+1 points together with a running agreement
-// count, so the common honest-stream case decodes without any Gaussian
-// elimination and the error case runs one elimination per arrival instead of
-// the seed's one per candidate error count per arrival. Outputs are
-// decision- and bit-identical to the scalar seed path (bobw::ref::Oec);
-// tests/kernels_test.cpp checks this differentially.
+// Since PR 3 this is a thin L = 1 wrapper over OecBank (src/rs/oec_bank.hpp),
+// which carries the shared-grid machinery: cached Berlekamp–Welch power
+// rows, the head-interpolant fast path and the batched error-path
+// elimination. Outputs remain decision- and bit-identical to the scalar
+// seed path (bobw::ref::Oec); tests/kernels_test.cpp checks this
+// differentially.
 #pragma once
 
-#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/field/fp.hpp"
-#include "src/field/kernels.hpp"
 #include "src/field/poly.hpp"
+#include "src/rs/oec_bank.hpp"
 
 namespace bobw {
 
@@ -32,11 +29,7 @@ class Oec {
   /// NOT stored and can never influence the decode; callers that need to
   /// distinguish "rejected" from "accepted but decode still pending" check
   /// this instead of the (formerly conflated) empty decode result.
-  enum class Add {
-    kAccepted,        // point stored; decode may or may not have completed
-    kDuplicateX,      // this x already contributed (first wins) — rejected
-    kAlreadyDecoded,  // decoding finished on an earlier point — rejected
-  };
+  using Add = OecStatus;
 
   struct Outcome {
     Add status = Add::kAccepted;
@@ -46,26 +39,17 @@ class Oec {
   };
 
   /// d: polynomial degree bound; t: corruption bound among contributors.
-  Oec(int d, int t);
+  Oec(int d, int t) : bank_(d, t, 1) {}
 
   /// Feed one point (x = alpha of the contributing party).
   Outcome add_point(Fp x, Fp y);
 
-  bool done() const { return result_.has_value(); }
-  const std::optional<Poly>& result() const { return result_; }
-  int points_received() const { return static_cast<int>(xs_.size()); }
+  bool done() const { return bank_.done(0); }
+  const std::optional<Poly>& result() const { return bank_.result(0); }
+  int points_received() const { return bank_.points_received(); }
 
  private:
-  std::optional<Poly> try_decode();
-  int d_, t_;
-  std::vector<Fp> xs_, ys_;
-  // rows_[k] = xs_[k]^0 .. xs_[k]^(d+t), computed once per accepted point.
-  std::vector<std::vector<Fp>> rows_;
-  // Interpolant through the first d+1 accepted points and the count of
-  // received points lying on it — the no-elimination fast path.
-  std::optional<Poly> head_q_;
-  int head_agree_ = 0;
-  std::optional<Poly> result_;
+  OecBank bank_;
 };
 
 }  // namespace bobw

@@ -10,7 +10,15 @@ std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
                                             std::vector<Fp> b) {
   const std::size_t m = A.size();
   const std::size_t n = m == 0 ? 0 : A[0].size();
-  std::vector<int> pivot_col_of_row;
+  // Forward elimination with deferred pivots: rows below the pivot are
+  // cross-multiplied (row_r <- p * row_r - f * row_piv), so no inverse is
+  // needed during elimination. Each row stays a nonzero scalar multiple of
+  // the row the seed's normalise-immediately scheme produces, which keeps
+  // pivot positions, the consistency verdict and the extracted solution
+  // bit-identical to ref::solve_linear while the per-pivot Fermat
+  // exponentiations collapse into one batch_inverse sweep.
+  std::vector<std::size_t> pivot_row, pivot_col;
+  std::vector<Fp> pivot_vals;
   std::size_t row = 0;
   for (std::size_t col = 0; col < n && row < m; ++col) {
     std::size_t sel = row;
@@ -18,28 +26,28 @@ std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
     if (sel == m) continue;
     std::swap(A[sel], A[row]);
     std::swap(b[sel], b[row]);
-    Fp inv = A[row][col].inv();
-    for (std::size_t j = col; j < n; ++j) A[row][j] *= inv;
-    b[row] *= inv;
-    for (std::size_t r = 0; r < m; ++r) {
-      if (r == row || A[r][col].is_zero()) continue;
-      Fp f = A[r][col];
-      for (std::size_t j = col; j < n; ++j) A[r][j] -= f * A[row][j];
-      b[r] -= f * b[row];
+    const Fp p = A[row][col];
+    for (std::size_t r = row + 1; r < m; ++r) {
+      const Fp f = A[r][col];
+      if (f.is_zero()) continue;
+      for (std::size_t j = col; j < n; ++j) A[r][j] = p * A[r][j] - f * A[row][j];
+      b[r] = p * b[r] - f * b[row];
     }
-    pivot_col_of_row.push_back(static_cast<int>(col));
+    pivot_row.push_back(row);
+    pivot_col.push_back(col);
+    pivot_vals.push_back(p);
     ++row;
   }
   // Inconsistency check: zero row with non-zero rhs.
   for (std::size_t r = row; r < m; ++r)
     if (!b[r].is_zero()) return std::nullopt;
+  batch_inverse(pivot_vals);
   std::vector<Fp> x(n, Fp(0));  // free variables = 0
-  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
-    int pc = pivot_col_of_row[r];
-    Fp v = b[r];
-    for (std::size_t j = static_cast<std::size_t>(pc) + 1; j < n; ++j)
-      v -= A[r][j] * x[j];
-    x[static_cast<std::size_t>(pc)] = v;
+  for (std::size_t k = pivot_vals.size(); k-- > 0;) {
+    const std::size_t pr = pivot_row[k], pc = pivot_col[k];
+    Fp v = b[pr];
+    for (std::size_t j = pc + 1; j < n; ++j) v -= A[pr][j] * x[j];
+    x[pc] = v * pivot_vals[k];
   }
   return x;
 }
@@ -94,8 +102,13 @@ std::optional<Poly> rs_decode_prepowered(int d, int e, const std::vector<Fp>& xs
   }
   auto sol = solve_linear(std::move(A), std::move(rhs));
   if (!sol) return std::nullopt;
-  std::vector<Fp> qc(sol->begin(), sol->begin() + nq);
-  std::vector<Fp> ec(sol->begin() + nq, sol->end());
+  return bw_quotient(d, e, *sol);
+}
+
+std::optional<Poly> bw_quotient(int d, int e, const std::vector<Fp>& sol) {
+  const int nq = d + e + 1;
+  std::vector<Fp> qc(sol.begin(), sol.begin() + nq);
+  std::vector<Fp> ec(sol.begin() + nq, sol.begin() + nq + e);
   ec.push_back(Fp(1));  // monic
   Poly Q(std::move(qc)), E(std::move(ec));
   // Polynomial division Q / E; remainder must be zero.

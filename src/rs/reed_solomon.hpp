@@ -34,7 +34,19 @@ int count_agreements(const Poly& q, const std::vector<Fp>& xs,
 
 /// Solve A x = b over F_p by Gaussian elimination. A is row-major m x n,
 /// b has length m. Returns any solution, or nullopt if inconsistent.
+/// Pivots are deferred: elimination is cross-multiplied so the only field
+/// inversions are ONE Montgomery batch_inverse over the pivots at
+/// back-substitution time (output-identical to the seed's
+/// normalise-every-pivot elimination, frozen as ref::solve_linear and
+/// checked differentially in tests/kernels_test.cpp).
 std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
                                             std::vector<Fp> b);
+
+/// Final step of a Berlekamp–Welch attempt at error count e >= 1: `sol`
+/// holds the d+e+1 coefficients of Q followed by the e low coefficients of
+/// the monic error locator E. Returns Q / E if E divides Q exactly and the
+/// quotient has degree <= d, nullopt otherwise. Shared by
+/// rs_decode_prepowered and OecBank's batched eliminator.
+std::optional<Poly> bw_quotient(int d, int e, const std::vector<Fp>& sol);
 
 }  // namespace bobw

@@ -59,6 +59,47 @@ inline Fp lagrange_eval(const std::vector<Fp>& xs, const std::vector<Fp>& ys, Fp
   return acc;
 }
 
+/// Seed solve_linear: Gauss–Jordan with one Fermat inversion per pivot
+/// (normalise-immediately). The deferred-pivot production routine in
+/// src/rs/reed_solomon.cpp must return exactly this solution (or exactly
+/// nullopt) on every input, singular or not.
+inline std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> A,
+                                                   std::vector<Fp> b) {
+  const std::size_t m = A.size();
+  const std::size_t n = m == 0 ? 0 : A[0].size();
+  std::vector<int> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n && row < m; ++col) {
+    std::size_t sel = row;
+    while (sel < m && A[sel][col].is_zero()) ++sel;
+    if (sel == m) continue;
+    std::swap(A[sel], A[row]);
+    std::swap(b[sel], b[row]);
+    Fp inv = A[row][col].inv();
+    for (std::size_t j = col; j < n; ++j) A[row][j] *= inv;
+    b[row] *= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == row || A[r][col].is_zero()) continue;
+      Fp f = A[r][col];
+      for (std::size_t j = col; j < n; ++j) A[r][j] -= f * A[row][j];
+      b[r] -= f * b[row];
+    }
+    pivot_col_of_row.push_back(static_cast<int>(col));
+    ++row;
+  }
+  for (std::size_t r = row; r < m; ++r)
+    if (!b[r].is_zero()) return std::nullopt;
+  std::vector<Fp> x(n, Fp(0));  // free variables = 0
+  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r) {
+    int pc = pivot_col_of_row[r];
+    Fp v = b[r];
+    for (std::size_t j = static_cast<std::size_t>(pc) + 1; j < n; ++j)
+      v -= A[r][j] * x[j];
+    x[static_cast<std::size_t>(pc)] = v;
+  }
+  return x;
+}
+
 /// Seed Oec: rebuilds the full Berlekamp–Welch system (powers + Gaussian
 /// elimination) for every candidate error count on every arriving point.
 class Oec {

@@ -339,30 +339,22 @@ void Wps::enter_oec(const std::vector<int>& providers) {
   oec_active_ = true;
   provider_.assign(static_cast<std::size_t>(n()), 0);
   for (int p : providers) provider_[static_cast<std::size_t>(p)] = 1;
-  oecs_.clear();
-  for (int l = 0; l < L_; ++l)
-    oecs_.push_back(std::make_unique<Oec>(ctx_.ts, ctx_.ts));
+  oec_bank_ = std::make_unique<OecBank>(ctx_.ts, ctx_.ts, L_);
   for (int j = 0; j < n(); ++j)
     if (pts_[static_cast<std::size_t>(j)]) feed_oec(j);
 }
 
 void Wps::feed_oec(int j) {
   if (done_ || !provider_[static_cast<std::size_t>(j)]) return;
-  const auto& pts = *pts_[static_cast<std::size_t>(j)];
-  bool all_done = true;
-  for (int l = 0; l < L_; ++l) {
-    auto& oec = *oecs_[static_cast<std::size_t>(l)];
-    // Rejections (duplicate α / already decoded) are harmless here: the
-    // pts_ slot gate guarantees one feed per provider.
-    if (!oec.done()) oec.add_point(alpha(j), pts[static_cast<std::size_t>(l)]);
-    all_done = all_done && oec.done();
-  }
-  if (!all_done) return;
+  // Rejections (duplicate α / all lanes decoded) are harmless here: the
+  // pts_ slot gate guarantees one feed per provider, and the bank skips
+  // lanes that already decoded.
+  oec_bank_->add_point(alpha(j), *pts_[static_cast<std::size_t>(j)]);
+  if (!oec_bank_->all_done()) return;
   // Recovered my row q_i(x) for each ℓ; the wps-share is q_i(0).
   std::vector<Fp> out;
   out.reserve(static_cast<std::size_t>(L_));
-  for (int l = 0; l < L_; ++l)
-    out.push_back(oecs_[static_cast<std::size_t>(l)]->result()->constant_term());
+  for (int l = 0; l < L_; ++l) out.push_back(oec_bank_->value(l));
   finish(std::move(out));
 }
 

@@ -28,7 +28,7 @@
 #include "src/core/timing.hpp"
 #include "src/field/bivariate.hpp"
 #include "src/graph/star.hpp"
-#include "src/rs/oec.hpp"
+#include "src/rs/oec_bank.hpp"
 #include "src/sim/instance.hpp"
 #include "src/vss/wire.hpp"
 
@@ -118,9 +118,10 @@ class Wps : public Instance {
   std::optional<wire::StarMsg> star2_;  // decoded (E',F')
   std::optional<bool> ba_out_;
 
-  // Share completion.
+  // Share completion. One OEC bank over the shared provider α-grid: all L
+  // lanes reuse each provider's power row, duplicate scan and head weights.
   std::vector<char> provider_;  // OEC contributor set (F or F')
-  std::vector<std::unique_ptr<Oec>> oecs_;
+  std::unique_ptr<OecBank> oec_bank_;
   bool oec_active_ = false;
   std::vector<Fp> shares_;
   bool done_ = false;

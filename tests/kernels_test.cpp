@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/field/bivariate.hpp"
 #include "src/field/kernels.hpp"
 #include "src/field/poly.hpp"
 #include "src/rs/oec.hpp"
@@ -85,6 +86,69 @@ TEST(PointSetDiff, EvalMatchesScalarSeed) {
     EXPECT_EQ(ps.eval(ys, at), ref::lagrange_eval(xs, ys, at));
     EXPECT_EQ(ps.eval(ys, Fp(0)), ref::lagrange_eval(xs, ys, Fp(0)));
     EXPECT_EQ(lagrange_eval(xs, ys, at), ref::lagrange_eval(xs, ys, at));
+  }
+}
+
+TEST(SolveLinearDiff, DeferredPivotsMatchSeedOnRandomSystems) {
+  // The deferred-pivot elimination (cross-multiplied rows, one batch_inverse
+  // sweep) must return exactly the seed's solution — or exactly nullopt —
+  // on every system: square, wide, tall, singular and inconsistent alike.
+  Rng rng(2007);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.next_below(7));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(7));
+    std::vector<std::vector<Fp>> A(m, std::vector<Fp>(n));
+    std::vector<Fp> b(m);
+    for (auto& row : A)
+      for (auto& v : row) v = rng.next_below(3) == 0 ? Fp(0) : Fp(rng.next_below(50));
+    for (auto& v : b) v = Fp(rng.next_below(50));
+    // Force rank deficiency often: duplicate a row (same rhs -> singular
+    // but consistent; different rhs -> inconsistent) or zero a column.
+    if (m >= 2 && rng.next_below(2) == 0) {
+      A[m - 1] = A[0];
+      b[m - 1] = rng.next_below(2) == 0 ? b[0] : b[0] + Fp(1);
+    }
+    if (rng.next_below(3) == 0)
+      for (std::size_t r = 0; r < m; ++r) A[r][n / 2] = Fp(0);
+    auto got = solve_linear(A, b);
+    auto expect = ref::solve_linear(A, b);
+    ASSERT_EQ(got.has_value(), expect.has_value()) << "trial=" << trial;
+    if (got) EXPECT_EQ(*got, *expect) << "trial=" << trial;
+  }
+}
+
+TEST(BivariateDiff, FromRowsMatchesPerRowSeedInterpolation) {
+  // from_rows now drives every coefficient row through one shared cached
+  // PointSet; the reconstructed bivariate must match the seed's per-row
+  // ref::interpolate rebuild exactly. d+1 row polynomials pin the bivariate
+  // down, so comparing rows at d+1 distinct points proves full equality.
+  Rng rng(2008);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int d = 1 + static_cast<int>(rng.next_below(6));
+    SymBivariate Q = SymBivariate::random_embedding(d, Poly::random(d, rng), rng);
+    std::vector<Fp> ys;
+    std::vector<Poly> rows;
+    for (int i = 0; i <= d; ++i) {
+      ys.push_back(alpha(i));
+      rows.push_back(Q.row(alpha(i)));
+    }
+    SymBivariate R = SymBivariate::from_rows(d, ys, rows);
+    // Seed path: one ref::interpolate per coefficient row.
+    std::vector<std::vector<Fp>> coeff(static_cast<std::size_t>(d) + 1);
+    for (int i = 0; i <= d; ++i) {
+      std::vector<Fp> vals;
+      for (const auto& row : rows) vals.push_back(row.coeff(i));
+      coeff[static_cast<std::size_t>(i)] = ref::interpolate(ys, vals).coeffs();
+      coeff[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(d) + 1, Fp(0));
+    }
+    for (int j = 0; j <= d; ++j) {
+      std::vector<Fp> expect_row(static_cast<std::size_t>(d) + 1);
+      for (int i = 0; i <= d; ++i)
+        expect_row[static_cast<std::size_t>(i)] =
+            Poly(coeff[static_cast<std::size_t>(i)]).eval(beta(d + 1, j));
+      EXPECT_EQ(R.row(beta(d + 1, j)), Poly(expect_row)) << "trial=" << trial << " j=" << j;
+      EXPECT_EQ(R.row(beta(d + 1, j)), Q.row(beta(d + 1, j))) << "trial=" << trial;
+    }
   }
 }
 
