@@ -1,4 +1,4 @@
-// T2 — Communication-complexity exponents.
+// T2 — Communication-complexity exponents + message-plane throughput.
 //
 // Paper claims (bits sent by honest parties):
 //   ΠACast O(n² ℓ)          (Lemma 2.4)
@@ -6,10 +6,20 @@
 //          *documented* substitution gap (DESIGN.md), expected slope ≈ 3
 //   ΠWPS   O(n² L + n⁴ log F)   (Thm 4.8; +1 from the substitution -> ≈ 5)
 //   ΠVSS   O(n³ L + n⁵ log F)   (Thm 4.16; expected measured ≈ 6)
-// We sweep n, measure honest bits, and fit the log-log slope.
+// We sweep n (ΠACast/ΠBC now up to n = 64, in all three scenario flavours:
+// synchronous, asynchronous, and crash-adversary), measure honest bits, fit
+// the log-log slope — and measure simulator *throughput* (events/sec), both
+// on the full protocol stack and on a pure message-plane flood that is also
+// run on the frozen PR 3 plane (bench/legacy_msgplane.hpp) for a
+// machine-portable before/after speedup ratio.
+//
+// With --emit-json PATH, appends the "comm_scaling" section consumed by the
+// CI bench-quick job (BENCH_pr4.json).
+#include <chrono>
 #include <memory>
 
 #include "bench/bench_util.hpp"
+#include "bench/legacy_msgplane.hpp"
 #include "src/bcast/acast.hpp"
 #include "src/bcast/bc.hpp"
 #include "src/vss/vss.hpp"
@@ -19,28 +29,50 @@ using namespace bobw;
 
 namespace {
 
-double measure_acast(int n, std::size_t ell_bytes) {
-  auto w = bench::make_world(n, (n - 1) / 3, 0, NetMode::kSynchronous);
+struct Run {
+  double bits = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0;
+};
+
+Run measure_acast(int n, std::size_t ell_bytes, NetMode mode,
+                  std::shared_ptr<Adversary> adv = nullptr) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto w = bench::make_world(n, (n - 1) / 3, 0, mode, std::move(adv));
   std::vector<std::unique_ptr<Acast>> inst(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
+  for (int i = 0; i < n; ++i) {
+    if (!w.runs_code(i)) continue;
     inst[static_cast<std::size_t>(i)] =
         std::make_unique<Acast>(w.party(i), "acast", 0, (n - 1) / 3, nullptr);
+  }
   Bytes m(ell_bytes, 0x5A);
   w.party(0).at(0, [&] { inst[0]->start(m); });
-  w.sim->run();
-  return static_cast<double>(w.sim->metrics().honest_bits());
+  Run r;
+  r.events = w.sim->run();
+  auto t1 = std::chrono::steady_clock::now();
+  r.bits = static_cast<double>(w.sim->metrics().honest_bits());
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
 }
 
-double measure_bc(int n, std::size_t ell_bytes) {
-  auto w = bench::make_world(n, (n - 1) / 3, 0, NetMode::kSynchronous);
+Run measure_bc(int n, std::size_t ell_bytes, NetMode mode = NetMode::kSynchronous,
+               std::shared_ptr<Adversary> adv = nullptr) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto w = bench::make_world(n, (n - 1) / 3, 0, mode, std::move(adv));
   std::vector<std::unique_ptr<Bc>> inst(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
+  for (int i = 0; i < n; ++i) {
+    if (!w.runs_code(i)) continue;
     inst[static_cast<std::size_t>(i)] =
         std::make_unique<Bc>(w.party(i), "bc", 0, w.ctx, 0, nullptr);
+  }
   Bytes m(ell_bytes, 0x5A);
   w.party(0).at(0, [&] { inst[0]->broadcast(m); });
-  w.sim->run();
-  return static_cast<double>(w.sim->metrics().honest_bits());
+  Run r;
+  r.events = w.sim->run();
+  auto t1 = std::chrono::steady_clock::now();
+  r.bits = static_cast<double>(w.sim->metrics().honest_bits());
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
 }
 
 double measure_wps(int n) {
@@ -71,6 +103,83 @@ double measure_vss(int n) {
   return static_cast<double>(w.sim->metrics().honest_bits());
 }
 
+// ---------------------------------------------------------------------------
+// Pure message-plane flood, identical workload on both planes: one hop-H
+// broadcast seeds it; each party re-broadcasts the FIRST message it sees of
+// each hop level, so every level costs exactly n send_alls = n² messages.
+// No field arithmetic, no protocol logic — events/sec here is the message
+// plane and nothing else.
+// ---------------------------------------------------------------------------
+
+class Flood : public Instance {
+ public:
+  Flood(Party& p, int levels)
+      : Instance(p, "flood"), seen_(static_cast<std::size_t>(levels + 1), 0) {}
+  void on_message(const Msg& m) override {
+    if (m.type <= 0) return;
+    auto& s = seen_[static_cast<std::size_t>(m.type)];
+    if (s) return;
+    s = 1;
+    send_all(m.type - 1, m.body);  // shares the in-flight payload
+  }
+
+ private:
+  std::vector<char> seen_;
+};
+
+class LegacyFlood : public legacy::Instance {
+ public:
+  LegacyFlood(legacy::Party& p, int levels)
+      : legacy::Instance(p, "flood"), seen_(static_cast<std::size_t>(levels + 1), 0) {}
+  void on_message(const legacy::Msg& m) override {
+    if (m.type <= 0) return;
+    auto& s = seen_[static_cast<std::size_t>(m.type)];
+    if (s) return;
+    s = 1;
+    send_all(m.type - 1, m.body);  // deep-copies per recipient, as PR 3 did
+  }
+
+ private:
+  std::vector<char> seen_;
+};
+
+struct FloodResult {
+  std::uint64_t events = 0;
+  double events_per_sec = 0;
+};
+
+FloodResult flood_new(int n, int levels, std::size_t ell) {
+  NetConfig net;  // defaults: sync, round-crisp Δ = 1000
+  auto t0 = std::chrono::steady_clock::now();
+  Sim sim(n, net, /*seed=*/42);
+  Bytes body(ell, 0xA5);
+  std::vector<std::unique_ptr<Flood>> inst;
+  for (int i = 0; i < n; ++i) inst.push_back(std::make_unique<Flood>(sim.party(i), levels));
+  sim.party(0).at(0, [&] { sim.party(0).send_all("flood", levels, body); });
+  FloodResult r;
+  r.events = sim.run();
+  auto t1 = std::chrono::steady_clock::now();
+  r.events_per_sec =
+      static_cast<double>(r.events) / std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+FloodResult flood_legacy(int n, int levels, std::size_t ell) {
+  NetConfig net;
+  auto t0 = std::chrono::steady_clock::now();
+  legacy::Sim sim(n, net, /*seed=*/42);
+  Bytes body(ell, 0xA5);
+  std::vector<std::unique_ptr<LegacyFlood>> inst;
+  for (int i = 0; i < n; ++i) inst.push_back(std::make_unique<LegacyFlood>(sim.party(i), levels));
+  sim.queue().at(0, [&] { sim.party(0).send_all("flood", levels, body); });
+  FloodResult r;
+  r.events = sim.run();
+  auto t1 = std::chrono::steady_clock::now();
+  r.events_per_sec =
+      static_cast<double>(r.events) / std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
 void report(const char* name, const std::vector<double>& ns, const std::vector<double>& bits,
             double paper_exp, double our_exp) {
   double slope = bobw::bench::loglog_slope(ns, bits);
@@ -81,25 +190,43 @@ void report(const char* name, const std::vector<double>& ns, const std::vector<d
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_emit_json(argc, argv);
+  std::vector<bench::JsonMetric> metrics;
+
   std::printf("T2: honest-party communication vs n (log-log slope = exponent)\n");
   bobw::bench::rule();
 
   {
     std::vector<double> ns, bits;
-    for (int n : {4, 7, 10, 13}) {
+    for (int n : {4, 8, 16, 32, 64}) {
       ns.push_back(n);
-      bits.push_back(measure_acast(n, 512));
+      bits.push_back(measure_acast(n, 512, NetMode::kSynchronous).bits);
     }
     report("ACast", ns, bits, 2, 2);
+    metrics.push_back({"acast_slope_x100", bench::loglog_slope(ns, bits) * 100});
+    metrics.push_back({"acast_bits_n64", bits.back()});
   }
+  std::uint64_t bc16_events = 0, bc64_events = 0;
+  double bc16_ms = 0, bc64_ms = 0;
   {
     std::vector<double> ns, bits;
-    for (int n : {4, 7, 10, 13}) {
+    for (int n : {4, 8, 16, 32, 64}) {
       ns.push_back(n);
-      bits.push_back(measure_bc(n, 512));
+      Run r = measure_bc(n, 512);
+      bits.push_back(r.bits);
+      if (n == 16) {
+        bc16_events = r.events;
+        bc16_ms = r.wall_ms;
+      }
+      if (n == 64) {
+        bc64_events = r.events;
+        bc64_ms = r.wall_ms;
+      }
     }
     report("BC", ns, bits, 2, 3);
+    metrics.push_back({"bc_slope_x100", bench::loglog_slope(ns, bits) * 100});
+    metrics.push_back({"bc_bits_n64", bits.back()});
   }
   {
     std::vector<double> ns, bits;
@@ -118,7 +245,55 @@ int main() {
     report("VSS", ns, bits, 5, 6);
   }
   bobw::bench::rule();
+
+  // Full-stack simulator throughput: the BC scenario is message-plane-bound
+  // (hash-free routing and shared payloads dominate its profile).
+  std::printf("sim throughput (full ΠBC stack): n=16 %7.3g ev/s   n=64 %7.3g ev/s\n",
+              static_cast<double>(bc16_events) / (bc16_ms / 1e3),
+              static_cast<double>(bc64_events) / (bc64_ms / 1e3));
+  metrics.push_back({"sim_events_per_sec_n16",
+                     static_cast<double>(bc16_events) / (bc16_ms / 1e3)});
+  metrics.push_back({"sim_events_per_sec_n64",
+                     static_cast<double>(bc64_events) / (bc64_ms / 1e3)});
+
+  // n = 64 scenario sweep: synchronous, asynchronous and crash-adversary
+  // flavours of the ΠACast/ΠBC layers. The synchronous BC n=64 run is the
+  // one already timed in the slope loop above — no need to repeat the
+  // heaviest scenario; the sweep total composes the three wall times.
+  {
+    Run async = measure_acast(64, 512, NetMode::kAsynchronous);
+    auto crash_adv = bench::crash({1, 5, 9, 13, 17});
+    Run crash = measure_acast(64, 512, NetMode::kSynchronous, crash_adv);
+    const double sweep_ms = bc64_ms + async.wall_ms + crash.wall_ms;
+    std::printf("n=64 sweep (BC sync + ACast async + ACast crash): %.1f ms, %llu events\n",
+                sweep_ms,
+                static_cast<unsigned long long>(bc64_events + async.events + crash.events));
+    metrics.push_back({"sweep_wall_ms_n64", sweep_ms});
+    metrics.push_back({"acast_async_bits_n64", async.bits});
+    metrics.push_back({"acast_crash_bits_n64", crash.bits});
+  }
+
+  // Message-plane flood: identical workload on the PR 4 plane and the frozen
+  // PR 3 plane. The ratio is the plane-only speedup (machine-portable; the
+  // ISSUE 4 acceptance gate — >= 2x — rides on the n=16 ratio).
+  bobw::bench::rule();
+  for (int n : {16, 64}) {
+    const int levels = n == 16 ? 1200 : 90;  // ~300-370k messages either way
+    FloodResult now = flood_new(n, levels, 256);
+    FloodResult old = flood_legacy(n, levels, 256);
+    const double speedup = now.events_per_sec / old.events_per_sec;
+    std::printf("msgplane flood n=%-2d: new %9.3g ev/s   legacy(pr3) %9.3g ev/s   speedup %.2fx\n",
+                n, now.events_per_sec, old.events_per_sec, speedup);
+    const std::string tag = "n" + std::to_string(n);
+    metrics.push_back({"msgplane_events_per_sec_" + tag, now.events_per_sec});
+    metrics.push_back({"msgplane_legacy_events_per_sec_" + tag, old.events_per_sec});
+    metrics.push_back({"msgplane_" + tag + "_speedup", speedup});
+  }
+
+  bobw::bench::rule();
   std::printf("'ours' = paper exponent + 1 where the recursive-BGP -> phase-king\n"
               "substitution inflates every broadcast by a factor n (DESIGN.md).\n");
+
+  if (!json_path.empty()) bench::emit_json_section(json_path, "comm_scaling", metrics);
   return 0;
 }

@@ -35,6 +35,12 @@ depends on the metric class, inferred from its name:
                        gated unless --include-ns (same-machine diffs only):
                        the CI runner is not the machine that wrote the
                        committed baseline.
+  *_per_sec            raw throughput rates (e.g. sim_events_per_sec_n64),
+                       higher is better. Cross-machine like raw wall-clock:
+                       reported, gated only with --include-ns. The
+                       machine-portable form of a throughput claim is its
+                       same-binary *_speedup ratio (see
+                       bench/legacy_msgplane.hpp), gated with --floor.
 
 Exit status: 0 if no gated metric regressed or broke a floor, 1 otherwise
 (also 1 on missing/malformed input files or a malformed --floor).
@@ -60,6 +66,8 @@ def classify(name):
     """Return (direction, kind): direction +1 = higher-better, -1 = lower-better."""
     if name.endswith("_speedup"):
         return 1, "speedup"
+    if name.endswith("_per_sec") or "_per_sec_" in name:
+        return 1, "raw-time"
     if name.endswith("_ns") or name.endswith("_ms") or "_ms_" in name or "_ns_" in name:
         return -1, "raw-time"
     return -1, "deterministic"

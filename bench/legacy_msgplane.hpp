@@ -1,0 +1,234 @@
+// Frozen copy of the PR 3 simulator message plane, for same-binary
+// before/after throughput comparison in bench_comm_scaling (the repo's
+// ref:: idiom — compare_bench.py gates the ratio, which is machine-portable,
+// instead of raw wall-clock, which is not).
+//
+// Faithful to the seed plane in every cost that matters:
+//   * Msg carries a heap std::string instance id,
+//   * send_all deep-copies the body once per recipient,
+//   * every delivery is a std::function closure on the shared event heap,
+//   * dispatch is a string-hash unordered_map lookup per delivery,
+//   * Metrics re-parses the label prefix and walks a string map per send.
+// Do not "fix" anything here; it exists to stay slow the old way.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/codec.hpp"
+#include "src/common/rng.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/ticks.hpp"
+
+namespace bobw::legacy {
+
+struct Msg {
+  int from = -1;
+  int to = -1;
+  std::string inst;
+  int type = 0;
+  Bytes body;
+  Tick sent_at = 0;
+  std::size_t bits() const { return (body.size() + 8) * 8; }
+};
+
+class EventQueue {
+ public:
+  enum Pri { kDelivery = 0, kTimer = 1 };
+
+  void at(Tick time, std::function<void()> fn) { at(time, kTimer, std::move(fn)); }
+  void at(Tick time, Pri pri, std::function<void()> fn) {
+    if (time < now_) time = now_;
+    heap_.push(Ev{time, pri, seq_++, std::move(fn)});
+  }
+
+  Tick now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    Ev ev = heap_.top();  // copy, as the seed did (priority_queue::top is const)
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  std::uint64_t run(Tick max_time = ~Tick{0}, std::uint64_t max_events = ~std::uint64_t{0}) {
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && executed < max_events) {
+      if (heap_.top().time > max_time) break;
+      step();
+      ++executed;
+    }
+    return executed;
+  }
+
+ private:
+  struct Ev {
+    Tick time;
+    int pri;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Ev& o) const {
+      if (time != o.time) return time > o.time;
+      if (pri != o.pri) return pri > o.pri;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+class Metrics {
+ public:
+  void record_send(const Msg& m, bool honest_sender) {
+    ++total_msgs_;
+    if (!honest_sender) return;
+    ++honest_msgs_;
+    honest_bits_ += m.bits();
+    auto slash = m.inst.find('/');
+    std::string label = slash == std::string::npos ? m.inst : m.inst.substr(0, slash);
+    by_label_[label] += m.bits();
+  }
+  std::uint64_t honest_msgs() const { return honest_msgs_; }
+  std::uint64_t honest_bits() const { return honest_bits_; }
+
+ private:
+  std::uint64_t honest_msgs_ = 0, honest_bits_ = 0, total_msgs_ = 0;
+  std::map<std::string, std::uint64_t> by_label_;
+};
+
+class Instance;
+class Sim;
+
+class Party {
+ public:
+  Party(Sim& sim, int id) : sim_(&sim), id_(id) {}
+
+  int id() const { return id_; }
+  Sim& sim() { return *sim_; }
+  int n() const;
+  Tick now() const;
+
+  void send(int to, const std::string& inst, int type, Bytes body);
+  void send_all(const std::string& inst, int type, const Bytes& body) {
+    for (int to = 0; to < n(); ++to) send(to, inst, type, body);  // deep copy per recipient
+  }
+
+  void register_instance(Instance* inst);
+  void unregister_instance(const std::string& id) { instances_.erase(id); }
+  void deliver(const Msg& m);
+
+ private:
+  Sim* sim_;
+  int id_;
+  std::unordered_map<std::string, Instance*> instances_;
+  std::unordered_map<std::string, std::vector<Msg>> pending_;
+};
+
+class Sim {
+ public:
+  Sim(int n, NetConfig net, std::uint64_t seed) : n_(n), delay_(net, mix64(seed ^ 0xD31A7ULL)) {
+    parties_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) parties_.push_back(std::make_unique<Party>(*this, i));
+  }
+
+  int n() const { return n_; }
+  Party& party(int i) { return *parties_[static_cast<std::size_t>(i)]; }
+  EventQueue& queue() { return queue_; }
+  Metrics& metrics() { return metrics_; }
+  Tick now() const { return queue_.now(); }
+
+  void post(Msg m) {
+    metrics_.record_send(m, true);
+    // The legacy DelayModel signature took the legacy Msg; the draw itself
+    // never read the message, so the current model is stream-identical.
+    ::bobw::Msg probe;
+    Tick delay = delay_.delay_for(probe);
+    Tick arrive = queue_.now() + (delay == 0 ? 1 : delay);
+    queue_.at(arrive, EventQueue::kDelivery, [this, msg = std::move(m)]() {
+      parties_[static_cast<std::size_t>(msg.to)]->deliver(msg);
+    });
+  }
+
+  std::uint64_t run(Tick max_time = ~Tick{0}, std::uint64_t max_events = ~std::uint64_t{0}) {
+    return queue_.run(max_time, max_events);
+  }
+
+ private:
+  int n_;
+  EventQueue queue_;
+  DelayModel delay_;
+  Metrics metrics_;
+  std::vector<std::unique_ptr<Party>> parties_;
+};
+
+class Instance {
+ public:
+  Instance(Party& party, std::string id) : party_(party), id_(std::move(id)) {
+    party_.register_instance(this);
+  }
+  virtual ~Instance() { party_.unregister_instance(id_); }
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  const std::string& id() const { return id_; }
+  virtual void on_message(const Msg& m) = 0;
+
+ protected:
+  void send_all(int type, const Bytes& body) { party_.send_all(id_, type, body); }
+  Party& party_;
+
+ private:
+  std::string id_;
+};
+
+inline int Party::n() const { return sim_->n(); }
+inline Tick Party::now() const { return sim_->now(); }
+
+inline void Party::send(int to, const std::string& inst, int type, Bytes body) {
+  Msg m;
+  m.from = id_;
+  m.to = to;
+  m.inst = inst;
+  m.type = type;
+  m.body = std::move(body);
+  m.sent_at = now();
+  sim_->post(std::move(m));
+}
+
+inline void Party::register_instance(Instance* inst) {
+  auto [it, fresh] = instances_.emplace(inst->id(), inst);
+  assert(fresh);
+  (void)it;
+  (void)fresh;
+  auto pend = pending_.find(inst->id());
+  if (pend != pending_.end()) {
+    auto msgs = std::move(pend->second);
+    pending_.erase(pend);
+    sim_->queue().at(now(), EventQueue::kDelivery, [this, id = inst->id(), ms = std::move(msgs)]() {
+      auto found = instances_.find(id);
+      if (found == instances_.end()) return;
+      for (const auto& m : ms) found->second->on_message(m);
+    });
+  }
+}
+
+inline void Party::deliver(const Msg& m) {
+  auto it = instances_.find(m.inst);
+  if (it == instances_.end()) {
+    pending_[m.inst].push_back(m);
+    return;
+  }
+  it->second->on_message(m);
+}
+
+}  // namespace bobw::legacy

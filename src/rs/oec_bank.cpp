@@ -230,12 +230,11 @@ void OecBank::attempt_bw(int e, std::vector<int>& pending, std::vector<int>& dec
   batch_inverse(pivot_vals);
 
   // Back-substitution and the classic Q/E completion per lane.
-  std::vector<int> still_pending;
+  std::vector<std::optional<Poly>> cands(uz(nl));
   for (int li = 0; li < nl; ++li) {
-    const int l = pending[uz(li)];
     const LaneElim& le = elims[uz(li)];
     const int base = nq + li * stripe;
-    std::optional<Poly> q;
+    std::optional<Poly>& q = cands[uz(li)];
     if (le.consistent) {
       std::vector<Fp> sol(uz(nq + ne), Fp(0));
       for (std::size_t k = le.pivots.size(); k-- > 0;) {
@@ -253,8 +252,32 @@ void OecBank::attempt_bw(int e, std::vector<int>& pending, std::vector<int>& dec
       }
       q = bw_quotient(d_, e, sol);
     }
+  }
+
+  // Agreement counting, batched: every successful lane's candidate is
+  // evaluated against the SAME m grid points, so the per-lane Horner sweeps
+  // collapse into one shared power-row matrix product over rows_ (each
+  // candidate has degree <= d <= d + t, the row width).
+  std::vector<const Poly*> cand_ptrs;
+  std::vector<const std::vector<Fp>*> cand_ys;
+  std::vector<int> cand_lane_idx;
+  for (int li = 0; li < nl; ++li) {
+    if (!cands[uz(li)]) continue;
+    cand_ptrs.push_back(&*cands[uz(li)]);
+    cand_ys.push_back(&lanes_[uz(pending[uz(li)])].ys);
+    cand_lane_idx.push_back(li);
+  }
+  std::vector<int> agree = count_agreements_prepowered(cand_ptrs, cand_ys, rows_);
+  std::vector<int> agree_of_lane(uz(nl), 0);
+  for (std::size_t c = 0; c < cand_lane_idx.size(); ++c)
+    agree_of_lane[uz(cand_lane_idx[c])] = agree[c];
+
+  std::vector<int> still_pending;
+  for (int li = 0; li < nl; ++li) {
+    const int l = pending[uz(li)];
+    std::optional<Poly>& q = cands[uz(li)];
     Lane& lane = lanes_[uz(l)];
-    if (q && count_agreements(*q, xs_, lane.ys) >= d_ + t_ + 1) {
+    if (q && agree_of_lane[uz(li)] >= d_ + t_ + 1) {
       lane.done = true;
       --active_;
       results_[uz(l)] = std::move(*q);

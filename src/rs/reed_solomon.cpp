@@ -148,4 +148,25 @@ int count_agreements(const Poly& q, const std::vector<Fp>& xs,
   return cnt;
 }
 
+std::vector<int> count_agreements_prepowered(
+    const std::vector<const Poly*>& qs, const std::vector<const std::vector<Fp>*>& ys,
+    const std::vector<std::vector<Fp>>& rows) {
+  if (qs.size() != ys.size())
+    throw std::invalid_argument("count_agreements_prepowered: candidate/ys size mismatch");
+  std::vector<int> counts(qs.size(), 0);
+  // One pass over the shared rows; each candidate's evaluation at x_k is a
+  // dot product against the cached power row, so the whole check is a
+  // rows x coeffs matrix product instead of |qs| independent Horner sweeps.
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& row = rows[k];
+    for (std::size_t c = 0; c < qs.size(); ++c) {
+      const auto& coef = qs[c]->coeffs();
+      Fp acc(0);
+      for (std::size_t j = 0; j < coef.size(); ++j) acc += row[j] * coef[j];
+      if (acc == (*ys[c])[k]) ++counts[c];
+    }
+  }
+  return counts;
+}
+
 }  // namespace bobw

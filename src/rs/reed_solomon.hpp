@@ -32,6 +32,18 @@ std::optional<Poly> rs_decode_prepowered(int d, int e, const std::vector<Fp>& xs
 int count_agreements(const Poly& q, const std::vector<Fp>& xs,
                      const std::vector<Fp>& ys);
 
+/// Batched agreement counting over caller-supplied power rows: out[c] =
+/// #{k : qs[c](x_k) == (*ys[c])[k]}, evaluated as one shared power-row
+/// matrix product (rows[k] · coeffs of qs[c]) instead of one Horner per
+/// point per candidate. rows[k] must hold x_k^0..x_k^w with
+/// w >= deg(qs[c]) for every candidate, and every *ys[c] must have one
+/// entry per row. Field arithmetic is exact, so each count is identical to
+/// the scalar count_agreements (differential test in
+/// tests/oec_bank_test.cpp).
+std::vector<int> count_agreements_prepowered(
+    const std::vector<const Poly*>& qs, const std::vector<const std::vector<Fp>*>& ys,
+    const std::vector<std::vector<Fp>>& rows);
+
 /// Solve A x = b over F_p by Gaussian elimination. A is row-major m x n,
 /// b has length m. Returns any solution, or nullopt if inconsistent.
 /// Pivots are deferred: elimination is cross-multiplied so the only field

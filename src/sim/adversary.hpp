@@ -8,9 +8,11 @@
 
 #include <optional>
 #include <set>
+#include <string>
 
 #include "src/common/rng.hpp"
 #include "src/sim/message.hpp"
+#include "src/sim/route.hpp"
 
 namespace bobw {
 
@@ -21,6 +23,15 @@ class Adversary {
   void corrupt(int party) { corrupt_.insert(party); }
   bool is_corrupt(int party) const { return corrupt_.count(party) != 0; }
   const std::set<int>& corrupt_set() const { return corrupt_; }
+
+  /// Called by Sim's constructor: gives targeted adversaries (and tests) the
+  /// intern table to resolve a message's RouteId back to the hierarchical
+  /// instance id it was addressed to.
+  void bind_routes(const RouteTable* routes) { routes_ = routes; }
+  const std::string& route_name(const Msg& m) const {
+    static const std::string unbound;
+    return routes_ ? routes_->name(m.route) : unbound;
+  }
 
   /// Should the corrupt party run the honest protocol code (true) or stay
   /// completely silent (false)? Active attacks subclass and mutate traffic.
@@ -36,6 +47,7 @@ class Adversary {
 
  private:
   std::set<int> corrupt_;
+  const RouteTable* routes_ = nullptr;
 };
 
 /// Corrupt parties crash at time zero: they never send anything. This is the

@@ -1,29 +1,57 @@
 #include "src/sim/events.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace bobw {
 
 void EventQueue::at(Tick time, Pri pri, std::function<void()> fn) {
   if (time < now_) time = now_;  // never schedule into the past
-  heap_.push(Ev{time, pri, seq_++, std::move(fn)});
+  timers_.push_back(Ev{time, pri, seq_++, std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end(), ev_later);
+}
+
+void EventQueue::post_delivery(Tick time, Msg m) {
+  if (time < now_) time = now_;
+  deliveries_.push_back(Dv{time, seq_++, std::move(m)});
+  std::push_heap(deliveries_.begin(), deliveries_.end(), dv_later);
+}
+
+bool EventQueue::delivery_first() const {
+  if (deliveries_.empty()) return false;
+  if (timers_.empty()) return true;
+  const Dv& d = deliveries_.front();
+  const Ev& e = timers_.front();
+  if (d.time != e.time) return d.time < e.time;
+  if (kDelivery != e.pri) return kDelivery < e.pri;
+  return d.seq < e.seq;
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
-  // copy the closure handle (shared state is cheap — std::function small).
-  Ev ev = heap_.top();
-  heap_.pop();
-  now_ = ev.time;
-  ev.fn();
+  if (empty()) return false;
+  if (delivery_first()) {
+    std::pop_heap(deliveries_.begin(), deliveries_.end(), dv_later);
+    Dv d = std::move(deliveries_.back());
+    deliveries_.pop_back();
+    now_ = d.time;
+    assert(sink_ && "EventQueue: delivery posted without a sink");
+    sink_(std::move(d.msg));
+  } else {
+    std::pop_heap(timers_.begin(), timers_.end(), ev_later);
+    Ev e = std::move(timers_.back());
+    timers_.pop_back();
+    now_ = e.time;
+    e.fn();
+  }
   return true;
 }
 
 std::uint64_t EventQueue::run(Tick max_time, std::uint64_t max_events) {
   std::uint64_t executed = 0;
-  while (!heap_.empty() && executed < max_events) {
-    if (heap_.top().time > max_time) break;
+  while (!empty() && executed < max_events) {
+    const Tick next = delivery_first() ? deliveries_.front().time : timers_.front().time;
+    if (next > max_time) break;
     step();
     ++executed;
   }

@@ -1,24 +1,22 @@
-// Discrete-event core: a deterministic min-heap of timestamped closures.
-// Ties are broken by insertion sequence so runs are fully reproducible.
+// Discrete-event core: a deterministic pair of min-heaps over one shared
+// (time, priority, sequence) ordering. Ties are broken by insertion sequence
+// so runs are fully reproducible.
+//
+// The hot lane is typed: message deliveries are plain {time, seq, Msg}
+// records handed to a single delivery sink (Sim routes them to
+// Party::deliver) — no per-message heap closure, no std::function dispatch.
+// The closure lane remains for protocol timers and the registration-flush
+// events, which are rare next to deliveries.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "src/sim/message.hpp"
+#include "src/sim/ticks.hpp"
+
 namespace bobw {
-
-/// Simulation time. The network bound Δ is expressed in ticks.
-using Tick = std::uint64_t;
-
-/// Smallest multiple of `delta` that is >= t (the paper's "wait till local
-/// time becomes a multiple of Δ").
-inline Tick next_multiple(Tick t, Tick delta) {
-  if (delta == 0) return t;
-  Tick r = t % delta;
-  return r == 0 ? t : t + (delta - r);
-}
 
 class EventQueue {
  public:
@@ -30,9 +28,15 @@ class EventQueue {
   void at(Tick time, std::function<void()> fn) { at(time, kTimer, std::move(fn)); }
   void at(Tick time, Pri pri, std::function<void()> fn);
 
+  /// Install the delivery sink. Must be set before the first post_delivery.
+  void on_delivery(std::function<void(Msg&&)> sink) { sink_ = std::move(sink); }
+
+  /// Enqueue a message on the typed delivery lane (priority kDelivery).
+  void post_delivery(Tick time, Msg m);
+
   Tick now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return timers_.empty() && deliveries_.empty(); }
+  std::size_t pending() const { return timers_.size() + deliveries_.size(); }
 
   /// Pop and execute the earliest event. Returns false when queue is empty.
   bool step();
@@ -47,13 +51,29 @@ class EventQueue {
     int pri;
     std::uint64_t seq;
     std::function<void()> fn;
-    bool operator>(const Ev& o) const {
-      if (time != o.time) return time > o.time;
-      if (pri != o.pri) return pri > o.pri;
-      return seq > o.seq;
-    }
   };
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;
+  struct Dv {
+    Tick time;
+    std::uint64_t seq;
+    Msg msg;
+  };
+  // Comparators for std::push_heap/pop_heap (max-heap semantics → "is later
+  // than" puts the earliest event at front()).
+  static bool ev_later(const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.pri != b.pri) return a.pri > b.pri;
+    return a.seq > b.seq;
+  }
+  static bool dv_later(const Dv& a, const Dv& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  /// True when the delivery lane holds the globally earliest event.
+  bool delivery_first() const;
+
+  std::vector<Ev> timers_;
+  std::vector<Dv> deliveries_;
+  std::function<void(Msg&&)> sink_;
   Tick now_ = 0;
   std::uint64_t seq_ = 0;
 };

@@ -2,10 +2,11 @@
 
 namespace bobw {
 
-Instance::Instance(Party& party, std::string id) : party_(party), id_(std::move(id)) {
+Instance::Instance(Party& party, std::string id)
+    : party_(party), id_(std::move(id)), route_(party.sim().routes().intern(id_)) {
   party_.register_instance(this);
 }
 
-Instance::~Instance() { party_.unregister_instance(id()); }
+Instance::~Instance() { party_.unregister_instance(route_); }
 
 }  // namespace bobw

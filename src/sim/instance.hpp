@@ -1,9 +1,12 @@
-// Base class for protocol instances. An instance registers itself under its
-// id at construction and receives every message addressed to that id.
+// Base class for protocol instances. An instance interns its hierarchical
+// string id into a dense RouteId at construction (the string survives as the
+// debug name), registers itself under that route and receives every message
+// addressed to it.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "src/sim/party.hpp"
 
@@ -18,6 +21,7 @@ class Instance {
   Instance& operator=(const Instance&) = delete;
 
   const std::string& id() const { return id_; }
+  RouteId route() const { return route_; }
   Party& party() { return party_; }
   int self() const { return party_.id(); }
   int n() const { return party_.n(); }
@@ -26,14 +30,25 @@ class Instance {
   virtual void on_message(const Msg& m) = 0;
 
  protected:
-  void send(int to, int type, const Bytes& body) { party_.send(to, id_, type, body); }
-  void send_all(int type, const Bytes& body) { party_.send_all(id_, type, body); }
+  void send(int to, int type, const Bytes& body) { party_.send(to, route_, type, Payload(body)); }
+  void send(int to, int type, Bytes&& body) {
+    party_.send(to, route_, type, Payload(std::move(body)));
+  }
+  void send(int to, int type, Payload body) { party_.send(to, route_, type, std::move(body)); }
+  void send_all(int type, const Bytes& body) { party_.send_all(route_, type, Payload(body)); }
+  void send_all(int type, Bytes&& body) {
+    party_.send_all(route_, type, Payload(std::move(body)));
+  }
+  /// Re-broadcasting a received body (e.g. ΠACast's echo) shares the payload
+  /// with the original in-flight copies — no byte copy at all.
+  void send_all(int type, Payload body) { party_.send_all(route_, type, std::move(body)); }
   void at(Tick time, std::function<void()> fn) { party_.at(time, std::move(fn)); }
 
   Party& party_;
 
  private:
   std::string id_;
+  RouteId route_;
 };
 
 /// Child id helper: parent "vss:2" + "wps:5" -> "vss:2/wps:5".

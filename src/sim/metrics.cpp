@@ -2,14 +2,20 @@
 
 namespace bobw {
 
-void Metrics::record_send(const Msg& m, bool honest_sender) {
+void Metrics::record_send(const Msg& m, bool honest_sender, LabelId label) {
   ++total_msgs_;
   if (!honest_sender) return;
   ++honest_msgs_;
   honest_bits_ += m.bits();
-  auto slash = m.inst.find('/');
-  std::string label = slash == std::string::npos ? m.inst : m.inst.substr(0, slash);
+  if (by_label_.size() <= label) by_label_.resize(label + 1, 0);
   by_label_[label] += m.bits();
+}
+
+std::map<std::string, std::uint64_t> Metrics::honest_bits_by_label() const {
+  std::map<std::string, std::uint64_t> out;
+  for (LabelId l = 0; l < by_label_.size(); ++l)
+    if (by_label_[l] != 0 && routes_) out[routes_->label_name(l)] = by_label_[l];
+  return out;
 }
 
 void Metrics::reset() {

@@ -29,6 +29,15 @@ struct NetConfig {
   /// out-of-range uniform draws in DelayModel; Δ = 0 breaks every
   /// round-boundary computation (next_multiple divides by it).
   void validate() const;
+
+  /// Config-mapping clamp for callers that set delta but leave
+  /// sync_min_delay at its "exactly the default Δ" default: a smaller Δ
+  /// means "uniform in [?, Δ]", not an inverted range. validate() stays
+  /// strict for hand-built configs that skip this.
+  NetConfig& clamp_sync_min() {
+    if (sync_min_delay > delta) sync_min_delay = delta;
+    return *this;
+  }
 };
 
 /// Draws per-message delays. Deterministic given the RNG stream.

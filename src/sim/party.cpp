@@ -20,54 +20,65 @@ void Party::at(Tick time, std::function<void()> fn) {
   });
 }
 
-void Party::send(int to, const std::string& inst, int type, Bytes body) {
+void Party::send(int to, RouteId route, int type, Payload body) {
   if (halted_) return;
   Msg m;
   m.from = id_;
   m.to = to;
-  m.inst = inst;
+  m.route = route;
   m.type = type;
   m.body = std::move(body);
   m.sent_at = now();
   sim_->post(std::move(m));
 }
 
+void Party::send_all(RouteId route, int type, Payload body) {
+  // One shared payload for all n recipients; each Msg copy is a refcount
+  // bump, not a byte copy.
+  for (int to = 0; to < n(); ++to) send(to, route, type, body);
+}
+
+void Party::send(int to, const std::string& inst, int type, Bytes body) {
+  send(to, sim_->routes().intern(inst), type, Payload(std::move(body)));
+}
+
 void Party::send_all(const std::string& inst, int type, const Bytes& body) {
-  for (int to = 0; to < n(); ++to) send(to, inst, type, body);
+  send_all(sim_->routes().intern(inst), type, Payload(body));
 }
 
 void Party::register_instance(Instance* inst) {
-  auto [it, fresh] = instances_.emplace(inst->id(), inst);
-  assert(fresh && "duplicate instance id");
-  (void)it;
-  (void)fresh;
-  auto pend = pending_.find(inst->id());
+  const RouteId route = inst->route();
+  if (by_route_.size() <= route) by_route_.resize(route + 1, nullptr);
+  assert(by_route_[route] == nullptr && "duplicate instance id");
+  by_route_[route] = inst;
+  auto pend = pending_.find(route);
   if (pend != pending_.end()) {
     // Deliver buffered messages as an immediate event: the instance is still
     // inside its constructor here (virtual dispatch would be unsafe), and
     // "delivery happens as an event" keeps ordering semantics uniform.
     auto msgs = std::move(pend->second);
     pending_.erase(pend);
-    sim_->queue().at(now(), EventQueue::kDelivery,
-                     [this, id = inst->id(), ms = std::move(msgs)]() {
-                       auto found = instances_.find(id);
-                       if (found == instances_.end()) return;
-                       for (const auto& m : ms)
-                         if (!halted_) found->second->on_message(m);
-                     });
+    sim_->queue().at(now(), EventQueue::kDelivery, [this, route, ms = std::move(msgs)]() {
+      Instance* found = route < by_route_.size() ? by_route_[route] : nullptr;
+      if (!found) return;
+      for (const auto& m : ms)
+        if (!halted_) found->on_message(m);
+    });
   }
 }
 
-void Party::unregister_instance(const std::string& id) { instances_.erase(id); }
+void Party::unregister_instance(RouteId route) {
+  if (route < by_route_.size()) by_route_[route] = nullptr;
+}
 
 void Party::deliver(const Msg& m) {
   if (halted_) return;
-  auto it = instances_.find(m.inst);
-  if (it == instances_.end()) {
-    pending_[m.inst].push_back(m);
+  Instance* inst = m.route < by_route_.size() ? by_route_[m.route] : nullptr;
+  if (!inst) {
+    pending_[m.route].push_back(m);
     return;
   }
-  it->second->on_message(m);
+  inst->on_message(m);
 }
 
 Sim::Sim(int n, NetConfig net, std::uint64_t seed, std::shared_ptr<Adversary> adversary)
@@ -75,6 +86,11 @@ Sim::Sim(int n, NetConfig net, std::uint64_t seed, std::shared_ptr<Adversary> ad
       delay_(net, mix64(seed ^ 0xD31A7ULL)),
       rng_(mix64(seed)),
       adversary_(std::move(adversary)) {
+  metrics_.bind(&routes_);
+  if (adversary_) adversary_->bind_routes(&routes_);
+  queue_.on_delivery([this](Msg&& m) {
+    parties_[static_cast<std::size_t>(m.to)]->deliver(m);
+  });
   parties_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     parties_.push_back(std::make_unique<Party>(*this, i, honest(i), rng_.fork(static_cast<std::uint64_t>(i))));
@@ -86,15 +102,13 @@ void Sim::post(Msg m) {
   if (adversary_ && adversary_->is_corrupt(m.from)) {
     if (!adversary_->filter_outgoing(m, rng_)) return;
   }
-  metrics_.record_send(m, honest(m.from));
+  metrics_.record_send(m, honest(m.from), routes_.label_of(m.route));
   Tick delay = delay_.delay_for(m);
   if (adversary_) {
     if (auto d = adversary_->delay_override(m)) delay = *d;
   }
   Tick arrive = queue_.now() + (delay == 0 ? 1 : delay);  // delivery strictly later
-  queue_.at(arrive, EventQueue::kDelivery, [this, msg = std::move(m)]() {
-    parties_[static_cast<std::size_t>(msg.to)]->deliver(msg);
-  });
+  queue_.post_delivery(arrive, std::move(m));
 }
 
 std::uint64_t Sim::run(Tick max_time, std::uint64_t max_events) {

@@ -1,10 +1,12 @@
 // Party and Sim: the runtime that hosts protocol instances.
 //
-// A Sim owns n parties, the event queue, the delay model, the adversary and
-// the metrics. A Party owns a registry of protocol Instances addressed by
-// hierarchical string ids; messages for instances that have not registered
-// yet are buffered and flushed on registration (asynchronous protocols may
-// receive messages "from the future" of their local schedule).
+// A Sim owns n parties, the event queue, the route intern table, the delay
+// model, the adversary and the metrics. A Party owns a registry of protocol
+// Instances addressed by dense RouteIds (dispatch is a flat vector index —
+// the hierarchical string ids live in Sim::routes() as debug names);
+// messages for instances that have not registered yet are buffered and
+// flushed on registration (asynchronous protocols may receive messages
+// "from the future" of their local schedule).
 #pragma once
 
 #include <functional>
@@ -19,6 +21,7 @@
 #include "src/sim/message.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/network.hpp"
+#include "src/sim/route.hpp"
 
 namespace bobw {
 
@@ -41,13 +44,20 @@ class Party {
   /// only use local timers, never a shared clock, in the asynchronous case).
   void at(Tick time, std::function<void()> fn);
 
-  /// Send a point-to-point message over the pairwise channel.
-  void send(int to, const std::string& inst, int type, Bytes body);
+  /// Send a point-to-point message over the pairwise channel. The fast path
+  /// used by every Instance: the route was interned once at registration.
+  void send(int to, RouteId route, int type, Payload body);
   /// Send to every party, self included (the paper's "send to all parties").
+  /// The payload is allocated once and shared by all n in-flight copies.
+  void send_all(RouteId route, int type, Payload body);
+
+  /// Convenience overloads that intern `inst` per call — test scaffolding and
+  /// ad-hoc traffic only; protocol code sends through its Instance route.
+  void send(int to, const std::string& inst, int type, Bytes body);
   void send_all(const std::string& inst, int type, const Bytes& body);
 
   void register_instance(Instance* inst);
-  void unregister_instance(const std::string& id);
+  void unregister_instance(RouteId route);
   void deliver(const Msg& m);
 
   /// A terminated party stops processing and sending (ΠCirEval termination
@@ -65,8 +75,9 @@ class Party {
   bool honest_;
   bool halted_ = false;
   Rng rng_;
-  std::unordered_map<std::string, Instance*> instances_;
-  std::unordered_map<std::string, std::vector<Msg>> pending_;
+  /// Flat dispatch table indexed by RouteId, grown lazily on registration.
+  std::vector<Instance*> by_route_;
+  std::unordered_map<RouteId, std::vector<Msg>> pending_;
   std::vector<std::shared_ptr<void>> owned_;
 };
 
@@ -81,6 +92,8 @@ class Sim {
   EventQueue& queue() { return queue_; }
   Metrics& metrics() { return metrics_; }
   Adversary* adversary() { return adversary_.get(); }
+  RouteTable& routes() { return routes_; }
+  const RouteTable& routes() const { return routes_; }
   const NetConfig& net() const { return delay_.config(); }
   Tick delta() const { return delay_.config().delta; }
   Tick now() const { return queue_.now(); }
@@ -98,6 +111,7 @@ class Sim {
  private:
   int n_;
   EventQueue queue_;
+  RouteTable routes_;
   DelayModel delay_;
   Metrics metrics_;
   Rng rng_;

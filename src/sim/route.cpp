@@ -1,0 +1,27 @@
+#include "src/sim/route.hpp"
+
+namespace bobw {
+
+RouteId RouteTable::intern(const std::string& id) {
+  auto it = ids_.find(id);
+  if (it != ids_.end()) return it->second;
+  const RouteId r = static_cast<RouteId>(names_.size());
+  ids_.emplace(id, r);
+  names_.push_back(id);
+
+  const auto slash = id.find('/');
+  std::string label = slash == std::string::npos ? id : id.substr(0, slash);
+  auto lit = label_ids_.find(label);
+  LabelId l;
+  if (lit != label_ids_.end()) {
+    l = lit->second;
+  } else {
+    l = static_cast<LabelId>(label_names_.size());
+    label_ids_.emplace(label, l);
+    label_names_.push_back(std::move(label));
+  }
+  route_label_.push_back(l);
+  return r;
+}
+
+}  // namespace bobw

@@ -1,0 +1,47 @@
+// Route interning: the simulator's answer to per-message string addressing.
+//
+// Every protocol instance lives at a hierarchical string id (e.g.
+// "vss:2/wps:5/ok:3:7/acast"). Those strings are superb debug names but
+// terrible wire addresses — the seed plane heap-allocated one per message and
+// hashed it on every delivery. A per-Sim RouteTable interns each id exactly
+// once (at Instance registration) into a dense RouteId; messages carry the
+// integer, parties dispatch through a flat vector, and Metrics buckets bits
+// by the equally-dense LabelId of the id's top-level prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bobw {
+
+/// Dense per-Sim instance address. Values are indices into RouteTable.
+using RouteId = std::uint32_t;
+/// Dense id of a route's top-level label (prefix before the first '/').
+using LabelId = std::uint32_t;
+
+inline constexpr RouteId kNoRoute = 0xFFFFFFFFu;
+
+class RouteTable {
+ public:
+  /// Intern `id`, returning its existing RouteId if already known. The
+  /// top-level label is interned alongside on first sight.
+  RouteId intern(const std::string& id);
+
+  const std::string& name(RouteId r) const { return names_[r]; }
+  LabelId label_of(RouteId r) const { return route_label_[r]; }
+  const std::string& label_name(LabelId l) const { return label_names_[l]; }
+
+  std::size_t size() const { return names_.size(); }
+  std::size_t label_count() const { return label_names_.size(); }
+
+ private:
+  std::unordered_map<std::string, RouteId> ids_;
+  std::vector<std::string> names_;
+  std::vector<LabelId> route_label_;
+  std::unordered_map<std::string, LabelId> label_ids_;
+  std::vector<std::string> label_names_;
+};
+
+}  // namespace bobw

@@ -1,0 +1,19 @@
+// Simulation time base, shared by the message and event headers.
+#pragma once
+
+#include <cstdint>
+
+namespace bobw {
+
+/// Simulation time. The network bound Δ is expressed in ticks.
+using Tick = std::uint64_t;
+
+/// Smallest multiple of `delta` that is >= t (the paper's "wait till local
+/// time becomes a multiple of Δ").
+inline Tick next_multiple(Tick t, Tick delta) {
+  if (delta == 0) return t;
+  Tick r = t % delta;
+  return r == 0 ? t : t + (delta - r);
+}
+
+}  // namespace bobw

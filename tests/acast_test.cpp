@@ -64,7 +64,7 @@ class EquivocatingSender : public Adversary {
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng&) override {
     if (m.type == Acast::kInit && !m.body.empty())
-      m.body[0] = static_cast<std::uint8_t>(m.to);
+      m.body.mutable_bytes()[0] = static_cast<std::uint8_t>(m.to);
     return true;
   }
 };
@@ -97,7 +97,7 @@ TEST(Acast, CorruptSenderAllOrNothingEventually) {
    public:
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
-      if (m.type == Acast::kInit && m.to == 1 && !m.body.empty()) m.body[0] ^= 0xFF;
+      if (m.type == Acast::kInit && m.to == 1 && !m.body.empty()) m.body.mutable_bytes()[0] ^= 0xFF;
       return true;
     }
   };

@@ -26,9 +26,9 @@ TEST(AdversarialWps, AsyncInconsistentDealerStrongCommitment) {
      public:
       bool participates(int) const override { return true; }
       bool filter_outgoing(Msg& m, Rng& rng) override {
-        if (m.inst == "wps" && m.type == Wps::kRows && m.to == 2 && m.body.size() > 8 &&
+        if (route_name(m) == "wps" && m.type == Wps::kRows && m.to == 2 && m.body.size() > 8 &&
             rng.next_bool())
-          m.body[m.body.size() - 2] ^= 0x40;
+          m.body.mutable_bytes()[m.body.size() - 2] ^= 0x40;
         return true;
       }
     };
@@ -152,7 +152,7 @@ TEST(AdversarialWps, DealerWhoSkipsOnePartyStillCommits) {
    public:
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
-      return !(m.inst == "wps" && m.type == Wps::kRows && m.to == 2);
+      return !(route_name(m) == "wps" && m.type == Wps::kRows && m.to == 2);
     }
   };
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {

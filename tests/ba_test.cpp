@@ -105,7 +105,7 @@ class AbaDoubleTalker : public Adversary {
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng& rng) override {
     if ((m.type == Aba::kEst || m.type == Aba::kAux) && !m.body.empty() && rng.next_bool())
-      m.body[4] ^= 1;  // flip the bit field
+      m.body.mutable_bytes()[4] ^= 1;  // flip the bit field
     return true;
   }
 };

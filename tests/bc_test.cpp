@@ -115,7 +115,7 @@ TEST(Bc, SyncConsistencyCorruptEquivocatingSender) {
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
       if (m.type == Acast::kInit && !m.body.empty())
-        m.body[0] = static_cast<std::uint8_t>(m.to & 1);
+        m.body.mutable_bytes()[0] = static_cast<std::uint8_t>(m.to & 1);
       return true;
     }
   };
@@ -143,7 +143,7 @@ TEST(Bc, AsyncFallbackConsistencyCorruptSender) {
    public:
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
-      if (m.type == Acast::kInit && m.to == 2 && !m.body.empty()) m.body[0] ^= 0x80;
+      if (m.type == Acast::kInit && m.to == 2 && !m.body.empty()) m.body.mutable_bytes()[0] ^= 0x80;
       return true;
     }
   };

@@ -41,7 +41,7 @@ class ByteGarbler : public Adversary {
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng& rng) override {
     if (!m.body.empty() && static_cast<int>(rng.next_below(100)) < percent_) {
-      m.body[rng.next_below(m.body.size())] ^=
+      m.body.mutable_bytes()[rng.next_below(m.body.size())] ^=
           static_cast<std::uint8_t>(1 + rng.next_below(255));
     }
     return true;
@@ -94,7 +94,7 @@ class Equivocator : public Adversary {
  public:
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng&) override {
-    if (!m.body.empty() && m.to % 2 == 0) m.body[0] ^= 0x01;
+    if (!m.body.empty() && m.to % 2 == 0) m.body.mutable_bytes()[0] ^= 0x01;
     return true;
   }
 };
@@ -159,8 +159,8 @@ class ReadyLiar : public Adversary {
  public:
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng&) override {
-    if (m.inst == "mpc" && m.type == CirEval::kReady && m.body.size() >= 8)
-      m.body[0] ^= 0xFF;  // corrupt the claimed output value
+    if (route_name(m) == "mpc" && m.type == CirEval::kReady && m.body.size() >= 8)
+      m.body.mutable_bytes()[0] ^= 0xFF;  // corrupt the claimed output value
     return true;
   }
 };
@@ -181,7 +181,7 @@ class NokSpammer : public Adversary {
     // Verdict broadcasts travel through ΠBC whose instance ids contain
     // "/ok:<i>:<j>/"; the payload of the underlying Acast INIT is the
     // verdict encoding. Garble those into NOKs with random values.
-    if (m.inst.find("/ok:") != std::string::npos && m.type == 0 && m.body.size() == 1 &&
+    if (route_name(m).find("/ok:") != std::string::npos && m.type == 0 && m.body.size() == 1 &&
         m.body[0] == 1) {
       wire::Verdict v;
       v.ok = false;

@@ -1,0 +1,275 @@
+// Golden-trace pins for the simulator message plane.
+//
+// The PR 4 refactor (interned routes, shared payloads, typed delivery lane)
+// must be a pure mechanical rewrite of the message plane: with fixed seeds,
+// run_mpc has to produce bit-identical outputs, finish times, communication
+// counts and event counts. The expected values below were captured on the
+// PR 3 plane (string-routed messages, per-delivery closures) and freeze the
+// full end-to-end trace — any event reordered, any message dropped or
+// double-charged, any RNG draw moved shifts at least one of them.
+//
+// The same file carries the message-plane semantics tests the refactor must
+// preserve: payload aliasing under send_all, delivery-before-timer
+// tie-breaking at round boundaries, and the --delta < sync_min_delay
+// config-mapping clamp.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/runner.hpp"
+#include "src/sim/instance.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+using test::make_world;
+
+struct Golden {
+  const char* tag;
+  MpcConfig cfg;
+  Circuit cir;
+  std::vector<std::optional<std::uint64_t>> outputs;  // nullopt = never finished
+  std::vector<Tick> finish_time;
+  std::vector<int> input_cs;
+  std::uint64_t honest_bits, honest_msgs, events;
+  Tick end_time;
+};
+
+void expect_golden(const Golden& g) {
+  std::vector<Fp> inputs;
+  for (int i = 0; i < g.cfg.n; ++i) inputs.push_back(Fp(static_cast<std::uint64_t>(3 * i + 2)));
+  auto res = run_mpc(g.cir, inputs, g.cfg);
+  for (int i = 0; i < g.cfg.n; ++i) {
+    const auto& out = res.outputs[static_cast<std::size_t>(i)];
+    const auto& want = g.outputs[static_cast<std::size_t>(i)];
+    ASSERT_EQ(out.has_value(), want.has_value()) << g.tag << " party " << i;
+    if (want) {
+      EXPECT_EQ(out->value(), *want) << g.tag << " party " << i;
+    }
+    EXPECT_EQ(res.finish_time[static_cast<std::size_t>(i)],
+              g.finish_time[static_cast<std::size_t>(i)])
+        << g.tag << " party " << i;
+  }
+  EXPECT_EQ(res.input_cs, g.input_cs) << g.tag;
+  EXPECT_EQ(res.honest_bits, g.honest_bits) << g.tag;
+  EXPECT_EQ(res.honest_msgs, g.honest_msgs) << g.tag;
+  EXPECT_EQ(res.events, g.events) << g.tag;
+  EXPECT_EQ(res.end_time, g.end_time) << g.tag;
+}
+
+TEST(GoldenTrace, SumAllN4SyncSeed1) {
+  Golden g{"sum_all n4 sync seed1",
+           [] {
+             MpcConfig c;
+             c.n = 4;
+             c.ts = 1;
+             c.ta = 0;
+             c.seed = 1;
+             return c;
+           }(),
+           circuits::sum_all(4),
+           {26, 26, 26, 26},
+           {117000, 117000, 117000, 117000},
+           {0, 1, 2, 3},
+           43404288,
+           306480,
+           398184,
+           117000};
+  expect_golden(g);
+}
+
+TEST(GoldenTrace, PairwiseN4SyncCrash3Seed7) {
+  Golden g{"pairwise n4 sync crash3 seed7",
+           [] {
+             MpcConfig c;
+             c.n = 4;
+             c.ts = 1;
+             c.ta = 0;
+             c.seed = 7;
+             c.corrupt = {3};
+             return c;
+           }(),
+           circuits::pairwise_sums_product(4),
+           {50, 50, 50, std::nullopt},
+           {122000, 122000, 122000, 0},
+           {0, 1, 2},
+           26400000,
+           195348,
+           263190,
+           122000};
+  expect_golden(g);
+}
+
+TEST(GoldenTrace, SumAllN5AsyncCrash2Seed3) {
+  Golden g{"sum_all n5 async crash2 seed3",
+           [] {
+             MpcConfig c;
+             c.n = 5;
+             c.ts = 1;
+             c.ta = 1;
+             c.mode = NetMode::kAsynchronous;
+             c.seed = 3;
+             c.corrupt = {2};
+             return c;
+           }(),
+           circuits::sum_all(5),
+           {32, 32, std::nullopt, 32, 32},
+           {139099, 139547, 0, 137937, 138335},
+           {0, 1, 3, 4},
+           95901520,
+           797275,
+           1023697,
+           140188};
+  expect_golden(g);
+}
+
+TEST(GoldenTrace, DeterministicAcrossRepeatedRuns) {
+  auto run = [] {
+    MpcConfig c;
+    c.n = 4;
+    c.ts = 1;
+    c.ta = 0;
+    c.seed = 11;
+    return run_mpc(circuits::sum_of_squares(4), {Fp(1), Fp(2), Fp(3), Fp(4)}, c);
+  };
+  auto a = run(), b = run();
+  EXPECT_EQ(a.honest_bits, b.honest_bits);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  for (std::size_t i = 0; i < a.outputs.size(); ++i)
+    EXPECT_EQ(a.outputs[i].has_value(), b.outputs[i].has_value());
+}
+
+// ---- payload aliasing -----------------------------------------------------
+
+class RecorderInst : public Instance {
+ public:
+  RecorderInst(Party& p, std::string id) : Instance(p, std::move(id)) {}
+  void on_message(const Msg& m) override { received.push_back(m); }
+  std::vector<Msg> received;
+};
+
+TEST(PayloadAliasing, MutatingSourceAfterSendAllLeavesInFlightCopiesIntact) {
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous);
+  std::vector<std::unique_ptr<RecorderInst>> inst;
+  for (int i = 0; i < 4; ++i)
+    inst.push_back(std::make_unique<RecorderInst>(w.party(i), "echo"));
+  auto body = std::make_shared<Bytes>(Bytes{1, 2, 3, 4});
+  w.party(0).at(0, [&w, body] {
+    w.party(0).send_all("echo", 0, *body);
+    (*body)[0] = 0xEE;  // caller reuses its buffer — must not reach the wire
+    (*body)[3] = 0xEE;
+  });
+  w.sim->run();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(inst[static_cast<std::size_t>(i)]->received.size(), 1u) << i;
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->received[0].body, (Bytes{1, 2, 3, 4})) << i;
+  }
+}
+
+/// Corrupt sender's send_all shares one payload across n recipients; the
+/// adversary mutates it for even-numbered recipients only. COW must keep the
+/// odd recipients' copies pristine.
+class EvenTargetGarbler : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    if (!m.body.empty() && m.to % 2 == 0) m.body.mutable_bytes()[0] ^= 0xFF;
+    return true;
+  }
+};
+
+TEST(PayloadAliasing, AdversarialMutationDetachesFromSharedPayload) {
+  auto adv = std::make_shared<EvenTargetGarbler>();
+  adv->corrupt(1);
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous, adv);
+  std::vector<std::unique_ptr<RecorderInst>> inst;
+  for (int i = 0; i < 4; ++i)
+    inst.push_back(std::make_unique<RecorderInst>(w.party(i), "echo"));
+  w.party(1).at(0, [&w] { w.party(1).send_all("echo", 0, Bytes{0x10, 0x20}); });
+  w.sim->run();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(inst[static_cast<std::size_t>(i)]->received.size(), 1u) << i;
+    const Bytes want = i % 2 == 0 ? Bytes{0xEF, 0x20} : Bytes{0x10, 0x20};
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->received[0].body, want) << i;
+  }
+}
+
+TEST(PayloadAliasing, ReceiverSideViewIsStableAcrossLaterSends) {
+  // A recorded Msg keeps its payload alive and unchanged even after the
+  // sender's instance re-broadcasts (shares) the same payload.
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous);
+  RecorderInst a(w.party(0), "echo");
+  RecorderInst b(w.party(1), "echo");
+  w.party(1).at(0, [&w] { w.party(1).send(0, "echo", 1, Bytes{7, 8, 9}); });
+  w.sim->run();
+  ASSERT_EQ(a.received.size(), 1u);
+  Msg copy = a.received[0];        // refcount bump, no byte copy
+  copy.body.mutable_bytes()[1] = 0x55;             // COW detach
+  EXPECT_EQ(a.received[0].body, (Bytes{7, 8, 9}));
+  EXPECT_EQ(copy.body, (Bytes{7, 0x55, 9}));
+}
+
+// ---- delivery-before-timer ordering --------------------------------------
+
+TEST(DeliveryOrdering, DeliveryBeatsTimerAtSameTick) {
+  // A message sent at t=0 with the round-crisp synchronous delay arrives at
+  // exactly Δ; a protocol deadline at Δ must observe it (paper round
+  // structure: "messages sent Δ ago are visible"). The typed delivery lane
+  // must preserve the kDelivery < kTimer tie-break against closure timers.
+  auto w = make_world(4, 1, 0, NetMode::kSynchronous);
+  RecorderInst a(w.party(0), "echo");
+  std::vector<int> order;
+  w.party(1).at(0, [&w] { w.party(1).send(0, "echo", 0, Bytes{1}); });
+  w.party(0).at(w.ctx.delta, [&] { order.push_back(static_cast<int>(a.received.size())); });
+  w.sim->run();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 1);  // the delivery ran first within the same tick
+}
+
+TEST(DeliveryOrdering, SameTickSamePriFifoBySequence) {
+  // Two messages scheduled for the same tick arrive in post order; a timer
+  // scheduled between the two posts still runs after both (lower pri).
+  EventQueue q;
+  q.on_delivery([](Msg&&) {});
+  std::vector<int> order;
+  q.at(10, EventQueue::kTimer, [&] { order.push_back(2); });
+  q.at(10, EventQueue::kDelivery, [&] { order.push_back(0); });
+  q.at(10, EventQueue::kTimer, [&] { order.push_back(3); });
+  q.at(10, EventQueue::kDelivery, [&] { order.push_back(1); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ---- --delta below the sync_min_delay default -----------------------------
+
+TEST(DeltaClamp, RunMpcAcceptsDeltaBelowDefaultSyncMinDelay) {
+  // Regression for the ROADMAP known issue: --delta 100 used to abort with
+  // "sync_min_delay > delta" because the runner never scaled the
+  // sync_min_delay = 1000 default down. The mapping layer now clamps.
+  MpcConfig cfg;
+  cfg.n = 4;
+  cfg.ts = 1;
+  cfg.ta = 0;
+  cfg.delta = 100;
+  cfg.seed = 5;
+  auto res = run_mpc(circuits::sum_all(4), {Fp(1), Fp(2), Fp(3), Fp(4)}, cfg);
+  EXPECT_TRUE(res.all_honest_agree({}));
+  ASSERT_TRUE(res.outputs[0]);
+  EXPECT_EQ(res.outputs[0]->value(), 10u);
+  // Finish times scale with Δ: the whole run ends in multiples of 100 ticks.
+  EXPECT_GT(res.end_time, 0u);
+  EXPECT_LT(res.end_time, 117000u);  // strictly faster than the Δ=1000 trace
+}
+
+TEST(DeltaClamp, ValidateStillRejectsExplicitlyInvertedRanges) {
+  NetConfig bad;
+  bad.delta = 100;  // explicit sync_min_delay left at 1000 — hand-built
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.sync_min_delay = 100;
+  EXPECT_NO_THROW(bad.validate());
+}
+
+}  // namespace
+}  // namespace bobw

@@ -35,6 +35,7 @@ inline World make_world(int n, int ts, int ta, NetMode mode,
   NetConfig net;
   net.mode = mode;
   net.delta = delta;
+  net.clamp_sync_min();
   w.adv = std::move(adv);
   w.sim = std::make_unique<Sim>(n, net, seed, w.adv);
   w.coin = std::make_unique<IdealCoin>(seed ^ 0xC01AULL);

@@ -79,7 +79,7 @@ TEST_P(NetSweep, ReconstructToleratesWrongShares) {
    public:
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
-      if (m.body.size() >= 8) m.body[4] ^= 0x3C;
+      if (m.body.size() >= 8) m.body.mutable_bytes()[4] ^= 0x3C;
       return true;
     }
   };

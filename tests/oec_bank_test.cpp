@@ -9,8 +9,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/field/kernels.hpp"
 #include "src/field/poly.hpp"
 #include "src/rs/oec_bank.hpp"
+#include "src/rs/reed_solomon.hpp"
 #include "src/rs/reference.hpp"
 
 namespace bobw {
@@ -198,6 +200,47 @@ TEST(OecBank, LanesFinishAtDifferentArrivals) {
   EXPECT_EQ(*bank.result(1), qs[1]);
   EXPECT_EQ(bank.value(0), qs[0].constant_term());
   EXPECT_EQ(bank.value(1), qs[1].constant_term());
+}
+
+TEST(OecBank, BatchedAgreementCountMatchesScalar) {
+  // Differential check of count_agreements_prepowered (the bank's shared
+  // power-row agreement pass after a BW success) against the scalar Horner
+  // count, across degrees, candidate counts and agreement patterns.
+  Rng rng(7102);
+  for (int d : {0, 1, 3, 6}) {
+    for (int nc : {1, 2, 5}) {
+      const int m = d + 5;
+      std::vector<Fp> xs;
+      std::vector<std::vector<Fp>> rows;
+      for (int k = 0; k < m; ++k) {
+        xs.push_back(alpha(k));
+        rows.push_back(power_row(alpha(k), d + 2));
+      }
+      std::vector<Poly> qs;
+      std::vector<std::vector<Fp>> ys(static_cast<std::size_t>(nc));
+      for (int c = 0; c < nc; ++c) {
+        qs.push_back(Poly::random(d, rng));
+        for (int k = 0; k < m; ++k) {
+          Fp y = qs.back().eval(xs[static_cast<std::size_t>(k)]);
+          // A sprinkling of disagreements, different per candidate.
+          if ((k + c) % 3 == 0) y += Fp(static_cast<std::uint64_t>(1 + c));
+          ys[static_cast<std::size_t>(c)].push_back(y);
+        }
+      }
+      std::vector<const Poly*> qp;
+      std::vector<const std::vector<Fp>*> yp;
+      for (int c = 0; c < nc; ++c) {
+        qp.push_back(&qs[static_cast<std::size_t>(c)]);
+        yp.push_back(&ys[static_cast<std::size_t>(c)]);
+      }
+      const auto batched = count_agreements_prepowered(qp, yp, rows);
+      for (int c = 0; c < nc; ++c)
+        EXPECT_EQ(batched[static_cast<std::size_t>(c)],
+                  count_agreements(qs[static_cast<std::size_t>(c)], xs,
+                                   ys[static_cast<std::size_t>(c)]))
+            << "d=" << d << " nc=" << nc << " c=" << c;
+    }
+  }
 }
 
 TEST(OecBank, RejectsMalformedUse) {

@@ -61,7 +61,7 @@ class LyingVoter : public Adversary {
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng& rng) override {
     // Garble the value inside the phase encoding (last bytes).
-    if (!m.body.empty()) m.body.back() ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    if (!m.body.empty()) m.body.mutable_bytes().back() ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
     return true;
   }
 };

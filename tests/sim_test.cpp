@@ -164,7 +164,7 @@ class FlipAdversary : public Adversary {
  public:
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng&) override {
-    if (!m.body.empty()) m.body[0] ^= 0xFF;
+    if (!m.body.empty()) m.body.mutable_bytes()[0] ^= 0xFF;
     return true;
   }
 };

@@ -86,9 +86,36 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BcSweep,
                                            BcCase{7, NetMode::kSynchronous},
                                            BcCase{10, NetMode::kSynchronous},
                                            BcCase{13, NetMode::kSynchronous},
+                                           BcCase{64, NetMode::kSynchronous},
                                            BcCase{4, NetMode::kAsynchronous},
                                            BcCase{7, NetMode::kAsynchronous},
-                                           BcCase{10, NetMode::kAsynchronous}));
+                                           BcCase{10, NetMode::kAsynchronous},
+                                           BcCase{64, NetMode::kAsynchronous}));
+
+// ---- production-scale sweep: n = 64 under a crash adversary ---------------
+
+TEST(BcSweep64, CrashAdversaryHonestSenderStillDelivers) {
+  // The interned-route message plane must carry the n = 64 broadcast (262k+
+  // deliveries) with t-many crash-silent parties: every running party still
+  // outputs the sender's value.
+  const int n = 64, ts = (n - 1) / 3;
+  auto adv = test::crash({1, 5, 9, 13, 17, 21, 25, 29, 33, 37});
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous, adv);
+  std::vector<std::unique_ptr<Bc>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!w.runs_code(i)) continue;
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Bc>(w.party(i), "bc", 0, w.ctx, 0, nullptr);
+  }
+  Bytes m{0xDE, 0xAD};
+  w.party(0).at(0, [&] { inst[0]->broadcast(m); });
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    if (!inst[static_cast<std::size_t>(i)]) continue;
+    ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->output()) << i;
+    EXPECT_EQ(*inst[static_cast<std::size_t>(i)]->output(), m) << i;
+  }
+}
 
 // ---- Reconstruct over batch sizes and thresholds --------------------------
 
