@@ -5,16 +5,15 @@ namespace bobw {
 Ba::Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Handler on_decide)
     : party_(party), ctx_(ctx), start_(start_time), on_decide_(std::move(on_decide)) {
   regular_bits_.assign(static_cast<std::size_t>(ctx_.n), std::nullopt);
-  bcs_.reserve(static_cast<std::size_t>(ctx_.n));
-  for (int j = 0; j < ctx_.n; ++j) {
-    bcs_.push_back(std::make_unique<Bc>(
-        party_, sub_id(id, "bc:" + std::to_string(j)), j, ctx_, start_,
-        [this, j](const std::optional<Bytes>& v, bool fallback) {
-          if (fallback || !v) return;
-          if (v->size() == 1 && (*v)[0] <= 1)
-            regular_bits_[static_cast<std::size_t>(j)] = (*v)[0] != 0;
-        }));
-  }
+  std::vector<int> senders(static_cast<std::size_t>(ctx_.n));
+  for (int j = 0; j < ctx_.n; ++j) senders[static_cast<std::size_t>(j)] = j;
+  bc_bank_ = std::make_unique<BcBank>(
+      party_, sub_id(id, "bc"), std::move(senders), ctx_, start_,
+      [this](int j, const std::optional<Bytes>& v, bool fallback) {
+        if (fallback || !v) return;
+        if (v->size() == 1 && (*v)[0] <= 1)
+          regular_bits_[static_cast<std::size_t>(j)] = (*v)[0] != 0;
+      });
   aba_ = std::make_unique<Aba>(party_, sub_id(id, "aba"), ctx_.ts, *ctx_.coin,
                                [this](bool b) {
                                  if (on_decide_) on_decide_(b);
@@ -22,7 +21,7 @@ Ba::Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Han
   party_.at(start_, [this] {
     if (input_ && !input_broadcast_) {
       input_broadcast_ = true;
-      bcs_[static_cast<std::size_t>(party_.id())]->broadcast(Bytes{*input_ ? std::uint8_t{1} : std::uint8_t{0}});
+      bc_bank_->broadcast(party_.id(), Bytes{*input_ ? std::uint8_t{1} : std::uint8_t{0}});
     }
   });
   party_.at(start_ + ctx_.T.t_bc, [this] { at_deadline(); });
@@ -33,7 +32,7 @@ void Ba::set_input(bool b) {
   input_ = b;
   if (party_.now() >= start_ && !input_broadcast_) {
     input_broadcast_ = true;
-    bcs_[static_cast<std::size_t>(party_.id())]->broadcast(Bytes{b ? std::uint8_t{1} : std::uint8_t{0}});
+    bc_bank_->broadcast(party_.id(), Bytes{b ? std::uint8_t{1} : std::uint8_t{0}});
   }
   if (deadline_passed_) enter_aba();
 }

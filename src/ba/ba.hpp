@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "src/ba/aba.hpp"
-#include "src/bcast/bc.hpp"
+#include "src/bcast/bc_bank.hpp"
 #include "src/core/timing.hpp"
 
 namespace bobw {
@@ -47,7 +47,8 @@ class Ba {
   Ctx ctx_;
   Tick start_;
   Handler on_decide_;
-  std::vector<std::unique_ptr<Bc>> bcs_;
+  // The n per-party input broadcasts are one BcBank (slot j = Pj's bit).
+  std::unique_ptr<BcBank> bc_bank_;
   std::unique_ptr<Aba> aba_;
   std::optional<bool> input_;
   bool input_broadcast_ = false;

@@ -16,17 +16,17 @@ void Acast::on_message(const Msg& m) {
       return;
     }
     case kEcho: {
-      auto& s = echoes_[m.body];
-      if (!s.insert(m.from).second) return;
+      const int c = echoes_.add(m.body, m.from);
+      if (!c) return;
       // ⌈(n+t+1)/2⌉ echoes for the same value.
-      if (static_cast<int>(s.size()) >= (n() + t_ + 2) / 2) maybe_ready(m.body);
+      if (c >= (n() + t_ + 2) / 2) maybe_ready(m.body);
       return;
     }
     case kReady: {
-      auto& s = readies_[m.body];
-      if (!s.insert(m.from).second) return;
-      if (static_cast<int>(s.size()) >= t_ + 1) maybe_ready(m.body);
-      if (static_cast<int>(s.size()) >= 2 * t_ + 1) accept(m.body);
+      const int c = readies_.add(m.body, m.from);
+      if (!c) return;
+      if (c >= t_ + 1) maybe_ready(m.body);
+      if (c >= 2 * t_ + 1) accept(m.body);
       return;
     }
     default:

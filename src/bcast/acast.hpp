@@ -7,10 +7,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 
+#include "src/common/digest.hpp"
 #include "src/sim/instance.hpp"
 
 namespace bobw {
@@ -37,7 +36,9 @@ class Acast : public Instance {
 
   int sender_, t_;
   bool echoed_ = false, readied_ = false;
-  std::map<Bytes, std::set<int>> echoes_, readies_;
+  // Echo/ready sets keyed by a 64-bit body digest (full-body compare only on
+  // digest collision) — no per-delivery lexicographic map walk.
+  BodyVotes echoes_, readies_;
   std::optional<Bytes> output_;
   Handler on_output_;
 };

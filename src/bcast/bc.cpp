@@ -2,52 +2,12 @@
 
 namespace bobw {
 
-namespace {
-// SBA input encoding: ⊥ -> empty, value m -> 0x01 || m (so that an empty
-// Acast payload from a Byzantine sender cannot masquerade as ⊥).
-Bytes wrap(const Bytes& m) {
-  Bytes b;
-  b.reserve(m.size() + 1);
-  b.push_back(0x01);
-  b.insert(b.end(), m.begin(), m.end());
-  return b;
-}
-}  // namespace
-
 Bc::Bc(Party& party, const std::string& id, int sender, const Ctx& ctx,
        Tick start_time, Handler handler)
-    : party_(party), sender_(sender), ctx_(ctx), start_(start_time), handler_(std::move(handler)) {
-  acast_ = std::make_unique<Acast>(party_, sub_id(id, "acast"), sender_, ctx_.ts,
-                                   [this](const Bytes& m) { on_acast(m); });
-  sba_ = std::make_unique<PhaseKing>(
-      party_, sub_id(id, "sba"), ctx_.ts, start_ + 3 * ctx_.delta,
-      [this]() -> Bytes {
-        // Input for the SBA at local time T0+3Δ: current Acast output or ⊥.
-        return acast_->output() ? wrap(*acast_->output()) : Bytes{};
-      },
-      nullptr);
-  party_.at(start_ + ctx_.T.t_bc, [this] { decide_regular(); });
-}
-
-void Bc::broadcast(const Bytes& m) { acast_->start(m); }
-
-void Bc::decide_regular() {
-  regular_done_ = true;
-  const auto& sba_out = sba_->output();
-  if (acast_->output() && sba_out && *sba_out == wrap(*acast_->output())) {
-    regular_ = acast_->output();
-    current_ = regular_;
-  }
-  if (handler_) handler_(regular_, /*fallback=*/false);
-  // Immediate fallback: Acast already delivered but the SBA disagreed.
-  if (!regular_ && acast_->output()) on_acast(*acast_->output());
-}
-
-void Bc::on_acast(const Bytes& m) {
-  if (!regular_done_ || regular_) return;  // fallback only after a ⊥ regular output
-  if (current_) return;
-  current_ = m;
-  if (handler_) handler_(current_, /*fallback=*/true);
-}
+    : bank_(std::make_unique<BcBank>(
+          party, id, std::vector<int>{sender}, ctx, start_time,
+          [h = std::move(handler)](int /*slot*/, const std::optional<Bytes>& v, bool fallback) {
+            if (h) h(v, fallback);
+          })) {}
 
 }  // namespace bobw

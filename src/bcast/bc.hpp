@@ -12,15 +12,20 @@
 // public schedule. A sender that starts late simply misses the regular
 // window; receivers still get the value through fallback mode, which is
 // exactly the paper's weak validity/consistency behaviour.
+//
+// Since PR 5, Bc is the K = 1 wrapper around BcBank: one slot, the same
+// decision logic, the bank's coalesced wire format. Protocols that run many
+// ΠBC instances on one shared schedule (the ΠWPS/ΠVSS ok-verdict grids, ΠBA's
+// per-party input broadcasts) hold a BcBank directly and multiplex all slots
+// over shared Acast/SBA rounds. The pre-bank per-pair composition is frozen
+// in bench/legacy_bcgrid.hpp.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
 
-#include "src/bcast/acast.hpp"
-#include "src/bcast/phase_king.hpp"
-#include "src/core/timing.hpp"
+#include "src/bcast/bc_bank.hpp"
 
 namespace bobw {
 
@@ -36,30 +41,18 @@ class Bc {
 
   /// Sender-side: begin broadcasting (honest senders call this at the
   /// scheduled start; the simulator permits late or absent calls).
-  void broadcast(const Bytes& m);
+  void broadcast(const Bytes& m) { bank_->broadcast(0, m); }
 
-  int sender() const { return sender_; }
-  Tick start_time() const { return start_; }
-  bool regular_decided() const { return regular_done_; }
+  int sender() const { return bank_->sender(0); }
+  Tick start_time() const { return bank_->start_time(); }
+  bool regular_decided() const { return bank_->regular_decided(0); }
   /// Regular-mode output (nullopt = ⊥ or not yet decided).
-  const std::optional<Bytes>& regular_output() const { return regular_; }
+  const std::optional<Bytes>& regular_output() const { return bank_->regular_output(0); }
   /// Best known output, including fallback switches.
-  const std::optional<Bytes>& output() const { return current_; }
+  const std::optional<Bytes>& output() const { return bank_->output(0); }
 
  private:
-  void decide_regular();
-  void on_acast(const Bytes& m);
-
-  Party& party_;
-  int sender_;
-  Ctx ctx_;
-  Tick start_;
-  Handler handler_;
-  std::unique_ptr<Acast> acast_;
-  std::unique_ptr<PhaseKing> sba_;
-  bool regular_done_ = false;
-  std::optional<Bytes> regular_;
-  std::optional<Bytes> current_;
+  std::unique_ptr<BcBank> bank_;
 };
 
 }  // namespace bobw

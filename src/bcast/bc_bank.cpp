@@ -1,0 +1,477 @@
+#include "src/bcast/bc_bank.hpp"
+
+#include <algorithm>
+
+#include "src/common/digest.hpp"
+
+namespace bobw {
+
+// ------------------------------------------------------------ wire format ---
+
+namespace bcwire {
+
+Bytes encode_acast_batch(const std::vector<AcastGroup>& groups) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(groups.size()));
+  for (const auto& g : groups) {
+    w.u8(g.type);
+    w.bytes(g.value);
+    w.u32(static_cast<std::uint32_t>(g.slots.size()));
+    for (std::uint32_t s : g.slots) w.u32(s);
+  }
+  return w.take();
+}
+
+std::vector<AcastGroup> decode_acast_batch(const Bytes& b) {
+  std::vector<AcastGroup> out;
+  try {
+    Reader r(b);
+    const std::uint32_t ngroups = r.u32();
+    for (std::uint32_t i = 0; i < ngroups; ++i) {
+      AcastGroup g;
+      g.type = r.u8();
+      g.value = r.bytes();
+      const std::uint32_t nslots = r.u32();
+      if (nslots > (b.size() / 4) + 1) throw CodecError("oversized slot list");
+      g.slots.reserve(nslots);
+      for (std::uint32_t s = 0; s < nslots; ++s) g.slots.push_back(r.u32());
+      out.push_back(std::move(g));
+    }
+  } catch (const CodecError&) {
+    // Well-formed prefix groups stand; the malformed suffix is dropped.
+  }
+  return out;
+}
+
+Bytes encode_sba(const SbaMsg& m) {
+  Writer w;
+  w.u32(m.k);
+  w.u32(static_cast<std::uint32_t>(m.groups.size()));
+  for (const auto& g : m.groups) {
+    w.bytes(g.value);
+    w.u32(static_cast<std::uint32_t>(g.slots.size()));
+    for (std::uint32_t s : g.slots) w.u32(s);
+  }
+  w.bytes(m.def);
+  return w.take();
+}
+
+std::optional<SbaMsg> decode_sba(const Bytes& b) {
+  try {
+    Reader r(b);
+    SbaMsg m;
+    m.k = r.u32();
+    const std::uint32_t ngroups = r.u32();
+    for (std::uint32_t i = 0; i < ngroups; ++i) {
+      SbaMsg::Group g;
+      g.value = r.bytes();
+      const std::uint32_t nslots = r.u32();
+      if (nslots > (b.size() / 4) + 1) return std::nullopt;
+      g.slots.reserve(nslots);
+      for (std::uint32_t s = 0; s < nslots; ++s) g.slots.push_back(r.u32());
+      m.groups.push_back(std::move(g));
+    }
+    m.def = r.bytes();
+    if (!r.exhausted()) return std::nullopt;
+    return m;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bcwire
+
+namespace {
+
+/// Dense intern of a value into (values, digest-bucket) tables: one hash per
+/// lookup, full-body compare only within the digest bucket.
+std::uint32_t intern_value(const Bytes& value, std::vector<Bytes>& values,
+                           std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>& buckets) {
+  auto& bucket = buckets[body_digest(value)];
+  for (std::uint32_t vid : bucket)
+    if (values[vid] == value) return vid;
+  const auto vid = static_cast<std::uint32_t>(values.size());
+  values.push_back(value);
+  bucket.push_back(vid);
+  return vid;
+}
+
+/// SBA input encoding shared with the per-pair path: ⊥ -> empty, value m ->
+/// 0x01 || m (so an empty Acast payload cannot masquerade as ⊥).
+Bytes wrap(const Bytes& m) {
+  Bytes b;
+  b.reserve(m.size() + 1);
+  b.push_back(0x01);
+  b.insert(b.end(), m.begin(), m.end());
+  return b;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- AcastBank ---
+
+AcastBank::AcastBank(Party& party, std::string id, std::vector<int> senders, int t, Tick delta,
+                     Handler on_output)
+    : Instance(party, std::move(id)),
+      senders_(std::move(senders)),
+      t_(t),
+      delta_(delta),
+      on_output_(std::move(on_output)),
+      slots_(senders_.size()) {}
+
+std::uint32_t AcastBank::intern(const Bytes& value) {
+  return intern_value(value, values_, vids_by_digest_);
+}
+
+int AcastBank::add_vote(std::vector<VoteSet>& sets, std::uint32_t vid, int from) {
+  const std::size_t word = static_cast<std::size_t>(from) / 64;
+  const std::uint64_t bit = 1ull << (static_cast<std::size_t>(from) % 64);
+  for (VoteSet& v : sets) {
+    if (v.vid != vid) continue;
+    if (v.mask[word] & bit) return 0;
+    v.mask[word] |= bit;
+    return ++v.count;
+  }
+  VoteSet v;
+  v.vid = vid;
+  v.count = 1;
+  v.mask.assign((static_cast<std::size_t>(n()) + 63) / 64, 0);
+  v.mask[word] |= bit;
+  sets.push_back(std::move(v));
+  return 1;
+}
+
+void AcastBank::start(int slot, const Bytes& m) {
+  queue_send(kInit, intern(m), static_cast<std::uint32_t>(slot));
+}
+
+void AcastBank::queue_send(std::uint8_t type, std::uint32_t vid, std::uint32_t slot) {
+  outbox_.push_back(Outgoing{type, vid, slot});
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  at(next_multiple(now(), delta_), [this] { flush(); });
+}
+
+void AcastBank::flush() {
+  flush_scheduled_ = false;
+  if (outbox_.empty()) return;
+  // Group by (type, vid) in first-appearance order — deterministic, and K
+  // near-identical bodies (a window's worth of ok-verdict echoes) cost one
+  // value on the wire. Keyed on the interned vid, so no byte compares.
+  std::vector<bcwire::AcastGroup> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_of;  // (type<<32|vid) -> group
+  for (const Outgoing& o : outbox_) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(o.type) << 32) | o.vid;
+    auto [it, fresh] = group_of.try_emplace(key, groups.size());
+    if (fresh) groups.push_back(bcwire::AcastGroup{o.type, values_[o.vid], {}});
+    groups[it->second].slots.push_back(o.slot);
+  }
+  outbox_.clear();
+  send_all(kBatch, bcwire::encode_acast_batch(groups));
+}
+
+void AcastBank::on_message(const Msg& m) {
+  if (m.type != kBatch) return;
+  const int K = static_cast<int>(slots_.size());
+  for (const auto& g : bcwire::decode_acast_batch(m.body)) {
+    if (g.type > kReady) continue;  // unknown sub-type from a Byzantine sender
+    const std::uint32_t vid = intern(g.value);
+    for (std::uint32_t us : g.slots) {
+      if (us >= static_cast<std::uint32_t>(K)) continue;
+      const int s = static_cast<int>(us);
+      Slot& slot = slots_[us];
+      switch (g.type) {
+        case kInit: {
+          if (m.from != senders_[us] || slot.echoed) break;
+          slot.echoed = true;
+          queue_send(kEcho, vid, us);
+          break;
+        }
+        case kEcho: {
+          const int c = add_vote(slot.echoes, vid, m.from);
+          if (!c) break;
+          // ⌈(n+t+1)/2⌉ echoes for the same value.
+          if (c >= (n() + t_ + 2) / 2) maybe_ready(s, vid);
+          break;
+        }
+        case kReady: {
+          const int c = add_vote(slot.readies, vid, m.from);
+          if (!c) break;
+          if (c >= t_ + 1) maybe_ready(s, vid);
+          if (c >= 2 * t_ + 1) accept(s, vid);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+void AcastBank::maybe_ready(int slot, std::uint32_t vid) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.readied) return;
+  s.readied = true;
+  queue_send(kReady, vid, static_cast<std::uint32_t>(slot));
+}
+
+void AcastBank::accept(int slot, std::uint32_t vid) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.output) return;
+  s.output = values_[vid];
+  if (on_output_) on_output_(slot, *s.output);
+}
+
+// ---------------------------------------------------------------- SbaBank ---
+
+SbaBank::SbaBank(Party& party, std::string id, int K, int t, Tick start_time, InputProvider input)
+    : Instance(party, std::move(id)),
+      K_(K),
+      t_(t),
+      start_(start_time),
+      input_(std::move(input)),
+      v_(static_cast<std::size_t>(K), 0),
+      locked_(static_cast<std::size_t>(K), 0),
+      outputs_(static_cast<std::size_t>(K)) {
+  intern(Bytes{});  // vid 0 is ⊥, so vid != 0 <=> non-empty value
+  const Tick d = party_.sim().delta();
+  at(start_, [this] {
+    for (int s = 0; s < K_; ++s)
+      v_[static_cast<std::size_t>(s)] = input_ ? intern(input_(s)) : 0;
+    send_vector(kVote1, 1, v_);
+  });
+  for (int k = 1; k <= t_ + 1; ++k) {
+    const Tick base = start_ + 3 * static_cast<Tick>(k - 1) * d;
+    at(base + d, [this, k] { round_a_end(k); });
+    at(base + 2 * d, [this, k] { round_b_end(k); });
+    at(base + 3 * d, [this, k] { round_c_end(k); });
+  }
+}
+
+std::uint32_t SbaBank::intern(const Bytes& value) {
+  return intern_value(value, values_, vids_by_digest_);
+}
+
+SbaBank::PhaseVotes& SbaBank::phase(int k) {
+  PhaseVotes& ph = phases_[k];
+  if (ph.vote1.empty()) {
+    const std::size_t words = (static_cast<std::size_t>(n()) + 63) / 64;
+    ph.seen1.assign(words, 0);
+    ph.seen2.assign(words, 0);
+    ph.vote1.resize(static_cast<std::size_t>(K_));
+    ph.vote2.resize(static_cast<std::size_t>(K_));
+  }
+  return ph;
+}
+
+bool SbaBank::mark_seen(std::vector<std::uint64_t>& mask, int from) {
+  const std::size_t word = static_cast<std::size_t>(from) / 64;
+  const std::uint64_t bit = 1ull << (static_cast<std::size_t>(from) % 64);
+  if (mask[word] & bit) return false;
+  mask[word] |= bit;
+  return true;
+}
+
+std::vector<std::uint32_t> SbaBank::expand(const bcwire::SbaMsg& m) {
+  constexpr std::uint32_t kUncovered = ~std::uint32_t{0};
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(K_), kUncovered);
+  for (const auto& g : m.groups) {
+    const std::uint32_t vid = intern(g.value);
+    for (std::uint32_t s : g.slots)
+      if (s < static_cast<std::uint32_t>(K_) && out[s] == kUncovered) out[s] = vid;
+  }
+  const std::uint32_t def_vid = intern(m.def);
+  for (auto& vid : out)
+    if (vid == kUncovered) vid = def_vid;
+  return out;
+}
+
+void SbaBank::add_tally(std::vector<Tally>& t, std::uint32_t vid) {
+  for (Tally& e : t)
+    if (e.vid == vid) {
+      ++e.count;
+      return;
+    }
+  t.push_back(Tally{vid, 1});
+}
+
+void SbaBank::on_message(const Msg& m) {
+  auto decoded = bcwire::decode_sba(m.body);
+  if (!decoded) return;
+  const int k = static_cast<int>(decoded->k);
+  if (k < 1 || k > t_ + 1 || k <= done_through_) return;
+  PhaseVotes& ph = phase(k);
+  switch (m.type) {
+    case kVote1: {
+      if (!mark_seen(ph.seen1, m.from)) return;
+      const auto vids = expand(*decoded);
+      for (int s = 0; s < K_; ++s)
+        add_tally(ph.vote1[static_cast<std::size_t>(s)], vids[static_cast<std::size_t>(s)]);
+      return;
+    }
+    case kVote2: {
+      if (!mark_seen(ph.seen2, m.from)) return;
+      const auto vids = expand(*decoded);
+      for (int s = 0; s < K_; ++s)
+        add_tally(ph.vote2[static_cast<std::size_t>(s)], vids[static_cast<std::size_t>(s)]);
+      return;
+    }
+    case kKing: {
+      if (m.from != (k - 1) % n() || ph.king_seen) return;
+      ph.king = expand(*decoded);
+      ph.king_seen = true;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SbaBank::send_vector(int type, int k, const std::vector<std::uint32_t>& vids) {
+  // Default = the most frequent value (ties -> smaller vid); the rest go out
+  // as explicit groups in first-appearance order.
+  std::unordered_map<std::uint32_t, int> freq;
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t vid : vids) {
+    if (++freq[vid] == 1) order.push_back(vid);
+  }
+  std::uint32_t def_vid = order.empty() ? 0 : order.front();
+  for (std::uint32_t vid : order) {
+    const int c = freq[vid], best = freq[def_vid];
+    if (c > best || (c == best && vid < def_vid)) def_vid = vid;
+  }
+  bcwire::SbaMsg msg;
+  msg.k = static_cast<std::uint32_t>(k);
+  msg.def = value_of(def_vid);
+  // One pass: group index per non-default vid in first-appearance order
+  // (slot lists come out ascending, identical to a per-vid rescan).
+  std::unordered_map<std::uint32_t, std::size_t> group_of;
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(K_); ++s) {
+    const std::uint32_t vid = vids[s];
+    if (vid == def_vid) continue;
+    auto [it, fresh] = group_of.try_emplace(vid, msg.groups.size());
+    if (fresh) msg.groups.push_back(bcwire::SbaMsg::Group{value_of(vid), {}});
+    msg.groups[it->second].slots.push_back(s);
+  }
+  send_all(type, bcwire::encode_sba(msg));
+}
+
+void SbaBank::round_a_end(int k) {
+  PhaseVotes& ph = phase(k);
+  // Per slot: a non-⊥ value with support >= n−t among VOTE1 becomes the
+  // proposal (at most one value can reach n−t with t < n/3; the lexicographic
+  // tie-break mirrors the per-pair std::map iteration order).
+  std::vector<std::uint32_t> proposal(static_cast<std::size_t>(K_), 0);
+  for (int s = 0; s < K_; ++s) {
+    std::uint32_t best = 0;
+    bool found = false;
+    for (const Tally& t : ph.vote1[static_cast<std::size_t>(s)]) {
+      if (t.vid == 0 || t.count < n() - t_) continue;
+      if (!found || value_of(t.vid) < value_of(best)) {
+        best = t.vid;
+        found = true;
+      }
+    }
+    if (found) proposal[static_cast<std::size_t>(s)] = best;
+  }
+  send_vector(kVote2, k, proposal);
+}
+
+void SbaBank::round_b_end(int k) {
+  PhaseVotes& ph = phase(k);
+  for (int s = 0; s < K_; ++s) {
+    // Most supported non-⊥ proposal; ties -> lexicographically smaller value
+    // (the per-pair path iterated a std::map<Bytes, int> and kept the first
+    // maximum).
+    std::uint32_t best = 0;
+    int best_c = 0;
+    for (const Tally& t : ph.vote2[static_cast<std::size_t>(s)]) {
+      if (t.vid == 0) continue;
+      if (t.count > best_c || (t.count == best_c && best_c > 0 && value_of(t.vid) < value_of(best))) {
+        best = t.vid;
+        best_c = t.count;
+      }
+    }
+    locked_[static_cast<std::size_t>(s)] = best_c >= n() - t_ ? 1 : 0;
+    if (best_c >= t_ + 1) {
+      v_[static_cast<std::size_t>(s)] = best;
+    } else if (!locked_[static_cast<std::size_t>(s)]) {
+      v_[static_cast<std::size_t>(s)] = 0;  // ⊥ until the king speaks
+    }
+  }
+  if (self() == (k - 1) % n()) send_vector(kKing, k, v_);
+}
+
+void SbaBank::round_c_end(int k) {
+  PhaseVotes& ph = phase(k);
+  for (int s = 0; s < K_; ++s) {
+    if (!locked_[static_cast<std::size_t>(s)] && ph.king_seen)
+      v_[static_cast<std::size_t>(s)] = ph.king[static_cast<std::size_t>(s)];
+    locked_[static_cast<std::size_t>(s)] = 0;
+  }
+  phases_.erase(k);  // completed phases never tally late votes
+  done_through_ = k;
+  if (k == t_ + 1) finish();
+  // Next phase's VOTE1 goes out now (same tick as this round's end).
+  if (k < t_ + 1) send_vector(kVote1, k + 1, v_);
+}
+
+void SbaBank::finish() {
+  for (int s = 0; s < K_; ++s) {
+    auto& out = outputs_[static_cast<std::size_t>(s)];
+    if (!out) out = value_of(v_[static_cast<std::size_t>(s)]);
+  }
+}
+
+// ----------------------------------------------------------------- BcBank ---
+
+BcBank::BcBank(Party& party, const std::string& id, std::vector<int> senders, const Ctx& ctx,
+               Tick start_time, Handler handler)
+    : party_(party),
+      senders_(std::move(senders)),
+      ctx_(ctx),
+      start_(start_time),
+      handler_(std::move(handler)),
+      regular_done_(senders_.size(), 0),
+      regular_(senders_.size()),
+      current_(senders_.size()) {
+  acast_ = std::make_unique<AcastBank>(
+      party_, sub_id(id, "acast"), senders_, ctx_.ts, ctx_.delta,
+      [this](int slot, const Bytes& m) { on_acast(slot, m); });
+  sba_ = std::make_unique<SbaBank>(
+      party_, sub_id(id, "sba"), slots(), ctx_.ts, start_ + 3 * ctx_.delta,
+      [this](int slot) -> Bytes {
+        // Input for the slot's SBA at local time T0+3Δ: current Acast output
+        // or ⊥ — exactly Bc's input rule.
+        return acast_->output(slot) ? wrap(*acast_->output(slot)) : Bytes{};
+      });
+  party_.at(start_ + ctx_.T.t_bc, [this] {
+    for (int s = 0; s < slots(); ++s) decide_regular(s);
+  });
+}
+
+void BcBank::broadcast(int slot, const Bytes& m) { acast_->start(slot, m); }
+
+void BcBank::decide_regular(int slot) {
+  const auto us = static_cast<std::size_t>(slot);
+  regular_done_[us] = 1;
+  const auto& acast_out = acast_->output(slot);
+  const auto& sba_out = sba_->output(slot);
+  if (acast_out && sba_out && *sba_out == wrap(*acast_out)) {
+    regular_[us] = acast_out;
+    current_[us] = regular_[us];
+  }
+  if (handler_) handler_(slot, regular_[us], /*fallback=*/false);
+  // Immediate fallback: Acast already delivered but the SBA disagreed.
+  if (!regular_[us] && acast_out) on_acast(slot, *acast_out);
+}
+
+void BcBank::on_acast(int slot, const Bytes& m) {
+  const auto us = static_cast<std::size_t>(slot);
+  if (!regular_done_[us] || regular_[us]) return;  // fallback only after a ⊥ regular output
+  if (current_[us]) return;
+  current_[us] = m;
+  if (handler_) handler_(slot, current_[us], /*fallback=*/true);
+}
+
+}  // namespace bobw

@@ -1,0 +1,263 @@
+// BcBank — a K-slot ΠBC broadcast bank (slot-multiplexed transport).
+//
+// The paper's ΠWPS/ΠVSS pairwise-consistency step runs n² independent ΠBC
+// instances with one shared public start time; ΠBA runs n. Each independent
+// instance pays its own ΠACast (O(n²) echo/ready messages) and its own
+// 3(t+1)-round phase-king SBA (n send_alls per round) — O(n⁵) messages per
+// sharing. The bank preserves every slot's ΠBC *decision logic* bit-for-bit
+// (same Acast thresholds, same phase-king tallies, same T0+T_BC regular
+// deadline and fallback rule) but multiplexes the transport:
+//
+//  * AcastBank coalesces all slots' INIT/ECHO/READY traffic per local
+//    Δ-window into ONE wire message of (type, value) → slot-list groups,
+//    with per-slot digest-interned echo/ready vote sets. Outgoing traffic is
+//    buffered and flushed when the local clock next hits a multiple of Δ —
+//    at round boundaries (where all honest ΠBC traffic is generated in a
+//    synchronous network) the flush happens in the same tick, so the
+//    round-crisp schedule is unchanged; mid-window arrivals wait for the
+//    boundary, which still meets every 3Δ Acast deadline because the flush
+//    boundary is exactly the worst-case arrival bound.
+//  * SbaBank runs ONE shared 3(t+1)-round phase-king schedule whose
+//    per-round send_all carries the vector of all K slot values (encoded as
+//    value-groups + a default value, so K near-identical verdicts cost O(1)
+//    values on the wire).
+//  * BcBank composes the two and exposes per-slot broadcast() and per-slot
+//    regular/fallback handler semantics identical to Bc's. Bc itself is the
+//    K = 1 wrapper.
+//
+// Grid message count drops from O(K·n²) + O(K·n·t) per Δ-window to O(n) per
+// Δ-window: each party sends at most one coalesced Acast batch per window
+// and one SBA vector per round. The pre-bank per-pair path is frozen in
+// bench/legacy_bcgrid.hpp for same-binary differential tests and benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/timing.hpp"
+#include "src/sim/instance.hpp"
+
+namespace bobw {
+
+// ---------------------------------------------------------------------------
+// Wire formats of the bank's coalesced messages. Exposed so tests and
+// targeted adversaries can decode/garble individual slot entries.
+// ---------------------------------------------------------------------------
+namespace bcwire {
+
+/// One (type, value) group of an Acast batch, with the slots it applies to.
+struct AcastGroup {
+  std::uint8_t type = 0;  // AcastBank::kInit / kEcho / kReady
+  Bytes value;
+  std::vector<std::uint32_t> slots;
+};
+
+Bytes encode_acast_batch(const std::vector<AcastGroup>& groups);
+
+/// Decodes as far as the batch is well-formed; a malformed suffix (garbled
+/// slot entries from a Byzantine sender) drops only the groups from the
+/// first malformed one onwards — earlier groups still apply.
+std::vector<AcastGroup> decode_acast_batch(const Bytes& b);
+
+/// One shared-SBA round message: phase k, explicit value groups, and a
+/// default value covering every slot not named by a group (first-covering
+/// group wins on Byzantine duplicates).
+struct SbaMsg {
+  std::uint32_t k = 0;
+  struct Group {
+    Bytes value;
+    std::vector<std::uint32_t> slots;
+  };
+  std::vector<Group> groups;
+  Bytes def;
+};
+
+Bytes encode_sba(const SbaMsg& m);
+/// All-or-nothing: a malformed SBA vector is dropped wholesale (the per-pair
+/// equivalent of one garbled vote message).
+std::optional<SbaMsg> decode_sba(const Bytes& b);
+
+}  // namespace bcwire
+
+// ---------------------------------------------------------------------------
+// AcastBank — K Bracha broadcasts over one coalesced transport.
+// ---------------------------------------------------------------------------
+class AcastBank : public Instance {
+ public:
+  using Handler = std::function<void(int slot, const Bytes&)>;
+
+  /// `senders[s]` is the party whose INIT is accepted for slot s. `delta` is
+  /// the coalescing window (the network bound Δ).
+  AcastBank(Party& party, std::string id, std::vector<int> senders, int t, Tick delta,
+            Handler on_output);
+
+  /// Sender-side: start broadcasting `m` on `slot`. May be called in any
+  /// Δ-window; the INIT rides the next flush.
+  void start(int slot, const Bytes& m);
+
+  const std::optional<Bytes>& output(int slot) const {
+    return slots_[static_cast<std::size_t>(slot)].output;
+  }
+
+  void on_message(const Msg& m) override;
+
+  enum Type { kBatch = 0 };
+  /// Per-entry sub-types inside a batch (the classic Bracha message kinds).
+  enum SubType { kInit = 0, kEcho = 1, kReady = 2 };
+
+ private:
+  /// Distinct-value intern table: digest-keyed, full-body compare on
+  /// collision. Ids are dense indices into values_.
+  std::uint32_t intern(const Bytes& value);
+
+  /// Per-slot, per-value distinct-sender tally (bitmask over parties).
+  struct VoteSet {
+    std::uint32_t vid = 0;
+    int count = 0;
+    std::vector<std::uint64_t> mask;
+  };
+  /// Adds `from` to the (slot-local) tally of `vid`; returns the new count,
+  /// or 0 if `from` was already recorded for that value.
+  int add_vote(std::vector<VoteSet>& sets, std::uint32_t vid, int from);
+
+  struct Slot {
+    bool echoed = false, readied = false;
+    std::vector<VoteSet> echoes, readies;
+    std::optional<Bytes> output;
+  };
+
+  void queue_send(std::uint8_t type, std::uint32_t vid, std::uint32_t slot);
+  void flush();
+  void maybe_ready(int slot, std::uint32_t vid);
+  void accept(int slot, std::uint32_t vid);
+
+  std::vector<int> senders_;
+  int t_;
+  Tick delta_;
+  Handler on_output_;
+
+  std::vector<Slot> slots_;
+  std::vector<Bytes> values_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vids_by_digest_;
+
+  struct Outgoing {
+    std::uint8_t type;
+    std::uint32_t vid;
+    std::uint32_t slot;
+  };
+  std::vector<Outgoing> outbox_;
+  bool flush_scheduled_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// SbaBank — K phase-king SBA instances on one shared round schedule.
+// ---------------------------------------------------------------------------
+class SbaBank : public Instance {
+ public:
+  /// Called once per slot at `start_time`, in slot order, to fetch inputs
+  /// (ΠBC reads each slot's Acast output at that moment). ⊥ = empty bytes.
+  using InputProvider = std::function<Bytes(int slot)>;
+
+  SbaBank(Party& party, std::string id, int K, int t, Tick start_time, InputProvider input);
+
+  const std::optional<Bytes>& output(int slot) const {
+    return outputs_[static_cast<std::size_t>(slot)];
+  }
+
+  void on_message(const Msg& m) override;
+
+  enum Type { kVote1 = 0, kVote2 = 1, kKing = 2 };
+
+ private:
+  std::uint32_t intern(const Bytes& value);
+  const Bytes& value_of(std::uint32_t vid) const { return values_[vid]; }
+
+  struct Tally {
+    std::uint32_t vid = 0;
+    int count = 0;
+  };
+  struct PhaseVotes {
+    // Message-level dedupe: the first VOTE1/VOTE2/KING message of a sender
+    // for this phase wins wholesale (per-pair instances deduped per sender
+    // per instance; honest senders emit exactly one vector per round).
+    std::vector<std::uint64_t> seen1, seen2;
+    bool king_seen = false;
+    std::vector<std::vector<Tally>> vote1, vote2;  // per slot
+    std::vector<std::uint32_t> king;               // per slot, if king_seen
+  };
+  PhaseVotes& phase(int k);
+  bool mark_seen(std::vector<std::uint64_t>& mask, int from);
+  /// Expand a decoded SBA vector to per-slot vids (groups first-wins, then
+  /// the default for uncovered slots).
+  std::vector<std::uint32_t> expand(const bcwire::SbaMsg& m);
+  void add_tally(std::vector<Tally>& t, std::uint32_t vid);
+  void send_vector(int type, int k, const std::vector<std::uint32_t>& vids);
+
+  void round_a_end(int k);
+  void round_b_end(int k);
+  void round_c_end(int k);
+  void finish();
+
+  int K_, t_;
+  Tick start_;
+  InputProvider input_;
+
+  std::vector<Bytes> values_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vids_by_digest_;
+
+  std::vector<std::uint32_t> v_;  // current value per slot (vid 0 = ⊥)
+  std::vector<char> locked_;      // per slot: D >= n−t this phase
+  std::unordered_map<int, PhaseVotes> phases_;
+  int done_through_ = 0;  // phases <= this have completed; late votes ignored
+  std::vector<std::optional<Bytes>> outputs_;
+};
+
+// ---------------------------------------------------------------------------
+// BcBank — K ΠBC slots: AcastBank + SbaBank + the per-slot decision rule.
+// ---------------------------------------------------------------------------
+class BcBank {
+ public:
+  /// Per-slot ΠBC handler, semantics identical to Bc::Handler: fires once
+  /// with the regular-mode output at T0+T_BC (value or ⊥) and once more if a
+  /// later fallback switch happens.
+  using Handler = std::function<void(int slot, const std::optional<Bytes>& value, bool fallback)>;
+
+  BcBank(Party& party, const std::string& id, std::vector<int> senders, const Ctx& ctx,
+         Tick start_time, Handler handler);
+
+  /// Sender-side for `slot` (receivers ignore INITs from non-senders).
+  void broadcast(int slot, const Bytes& m);
+
+  int slots() const { return static_cast<int>(senders_.size()); }
+  int sender(int slot) const { return senders_[static_cast<std::size_t>(slot)]; }
+  Tick start_time() const { return start_; }
+  bool regular_decided(int slot) const {
+    return regular_done_[static_cast<std::size_t>(slot)] != 0;
+  }
+  const std::optional<Bytes>& regular_output(int slot) const {
+    return regular_[static_cast<std::size_t>(slot)];
+  }
+  const std::optional<Bytes>& output(int slot) const {
+    return current_[static_cast<std::size_t>(slot)];
+  }
+
+ private:
+  void decide_regular(int slot);
+  void on_acast(int slot, const Bytes& m);
+
+  Party& party_;
+  std::vector<int> senders_;
+  Ctx ctx_;
+  Tick start_;
+  Handler handler_;
+  std::unique_ptr<AcastBank> acast_;
+  std::unique_ptr<SbaBank> sba_;
+  std::vector<char> regular_done_;
+  std::vector<std::optional<Bytes>> regular_, current_;
+};
+
+}  // namespace bobw

@@ -1,0 +1,57 @@
+// 64-bit body digests for protocol-layer vote bookkeeping.
+//
+// The message plane already delivers shared payloads without copying; the
+// remaining per-delivery byte cost was the protocol layers keying their
+// per-sender sets by std::map<Bytes, ...> — every insert walked a tree doing
+// lexicographic full-body compares. BodyVotes keys the same sets by an FNV-1a
+// digest instead: one hash per delivery, one equality check against the
+// bucket's stored body (correctness under digest collisions — colliding
+// bodies fall back to full-body comparison inside the bucket).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/codec.hpp"
+
+namespace bobw {
+
+/// FNV-1a over the body bytes. Not cryptographic — collisions are handled by
+/// the callers' full-body fallback compare, never assumed away.
+inline std::uint64_t body_digest(const Bytes& b) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint8_t c : b) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Digest-keyed "who voted for which exact body" multiset, the shape of
+/// ΠACast's echo/ready sets and ΠCirEval's (ready, y) tally.
+class BodyVotes {
+ public:
+  /// Records `from` as a voter for `body`. Returns the number of distinct
+  /// voters for that exact body after the insert, or 0 if `from` had already
+  /// voted for it (the caller's "set.insert(...).second" early-out).
+  int add(const Bytes& body, int from) {
+    auto& bucket = buckets_[body_digest(body)];
+    for (Entry& e : bucket) {
+      if (e.body == body)
+        return e.senders.insert(from).second ? static_cast<int>(e.senders.size()) : 0;
+    }
+    bucket.push_back(Entry{body, {from}});
+    return 1;
+  }
+
+ private:
+  struct Entry {
+    Bytes body;
+    std::set<int> senders;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+};
+
+}  // namespace bobw

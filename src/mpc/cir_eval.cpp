@@ -135,13 +135,13 @@ void CirEval::on_message(const Msg& m) {
   } catch (const CodecError&) {
     return;
   }
-  auto& senders = ready_[m.body];
-  if (!senders.insert(m.from).second) return;
+  const int c = ready_.add(m.body, m.from);
+  if (!c) return;
   // Echo support: the validated body re-encodes to exactly itself (the u64s
   // framing is canonical), so forward the received bytes instead of
   // re-serialising the decoded vector.
-  if (static_cast<int>(senders.size()) >= ctx_.ts + 1) send_ready_bytes(m.body);
-  if (static_cast<int>(senders.size()) >= 2 * ctx_.ts + 1) terminate(y);
+  if (c >= ctx_.ts + 1) send_ready_bytes(m.body);
+  if (c >= 2 * ctx_.ts + 1) terminate(y);
 }
 
 void CirEval::terminate(const std::vector<Fp>& y) {

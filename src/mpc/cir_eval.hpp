@@ -14,13 +14,12 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "src/acs/acs.hpp"
+#include "src/common/digest.hpp"
 #include "src/mpc/beaver.hpp"
 #include "src/mpc/circuit.hpp"
 #include "src/mpc/preprocess.hpp"
@@ -78,7 +77,7 @@ class CirEval : public Instance {
   std::unique_ptr<Reconstruct> out_rec_;
   bool out_started_ = false;
 
-  std::map<Bytes, std::set<int>> ready_;  // encoded y vector -> senders
+  BodyVotes ready_;  // encoded y vector -> digest-keyed sender tally
   bool ready_sent_ = false;
   bool terminated_ = false;
   std::vector<Fp> output_;

@@ -13,12 +13,10 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
       L_(L),
       ctx_(ctx),
       base_(base),
-      on_shares_(std::move(on_shares)) {
+      on_shares_(std::move(on_shares)),
+      verdicts_(party.n()) {
   const int nn = n();
   wsh_.resize(static_cast<std::size_t>(nn));
-  verdict_reg_.assign(static_cast<std::size_t>(nn),
-                      std::vector<std::optional<wire::Verdict>>(static_cast<std::size_t>(nn)));
-  verdict_any_ = verdict_reg_;
   verdict_broadcast_.assign(static_cast<std::size_t>(nn), 0);
 
   // Second layer: one ΠWPS per party, scheduled at B+Δ.
@@ -33,14 +31,12 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
   }
 
   const Tick ok_start = base_ + ctx_.delta + ctx_.T.t_wps;
-  ok_bc_.resize(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
+  std::vector<int> senders(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
   for (int i = 0; i < nn; ++i)
-    for (int j = 0; j < nn; ++j) {
-      ok_bc_[static_cast<std::size_t>(i * nn + j)] = std::make_unique<Bc>(
-          party_, sub_id(this->id(), "ok:" + std::to_string(i) + ":" + std::to_string(j)), i,
-          ctx_, ok_start,
-          [this, i, j](const std::optional<Bytes>& v, bool fb) { on_verdict(i, j, v, fb); });
-    }
+    for (int j = 0; j < nn; ++j) senders[static_cast<std::size_t>(i * nn + j)] = i;
+  ok_bank_ = std::make_unique<BcBank>(
+      party_, sub_id(this->id(), "ok"), std::move(senders), ctx_, ok_start,
+      [this](int slot, const std::optional<Bytes>& v, bool fb) { on_verdict(slot, v, fb); });
 
   wef_bc_ = std::make_unique<Bc>(
       party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
@@ -129,13 +125,13 @@ void Vss::dealer_find_wef() {
   std::vector<char> bad(static_cast<std::size_t>(n()), 0);
   for (int i = 0; i < n(); ++i)
     for (int j = 0; j < n(); ++j) {
-      const auto& v = verdict_reg_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      const auto& v = verdicts_.reg(i, j);
       if (!v || v->ok) continue;
       if (v->nok_index >= static_cast<std::uint32_t>(L_) ||
           v->nok_value != Qs_[v->nok_index].eval(alpha(j), alpha(i)))
         bad[static_cast<std::size_t>(i)] = 1;
     }
-  Graph g = graph(/*regular_only=*/true);
+  const Graph& g = graph(/*regular_only=*/true);
   Graph pruned(n());
   for (int u = 0; u < n(); ++u)
     for (int v = u + 1; v < n(); ++v)
@@ -230,36 +226,19 @@ void Vss::maybe_broadcast_verdict(int j) {
         break;
       }
     }
-    ok_bc_[static_cast<std::size_t>(self() * n() + j)]->broadcast(wire::encode_verdict(v));
+    ok_bank_->broadcast(self() * n() + j, wire::encode_verdict(v));
   });
 }
 
-void Vss::on_verdict(int i, int j, const std::optional<Bytes>& v, bool fallback) {
+void Vss::on_verdict(int slot, const std::optional<Bytes>& v, bool fallback) {
   if (!v) return;
   auto verdict = wire::decode_verdict(*v);
   if (!verdict) return;
-  auto& any = verdict_any_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-  if (!any) any = verdict;
-  if (!fallback) {
-    auto& reg = verdict_reg_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-    if (!reg) reg = verdict;
-  }
+  verdicts_.record(slot / n(), slot % n(), *verdict, fallback);
   if (ba_out_ && *ba_out_) {
     if (self() == dealer_) dealer_try_star2();
     try_path_star2();
   }
-}
-
-Graph Vss::graph(bool regular_only) const {
-  const auto& tbl = regular_only ? verdict_reg_ : verdict_any_;
-  Graph g(n());
-  for (int i = 0; i < n(); ++i)
-    for (int j = i + 1; j < n(); ++j) {
-      const auto& a = tbl[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      const auto& b = tbl[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
-      if (a && a->ok && b && b->ok) g.add_edge(i, j);
-    }
-  return g;
 }
 
 // --------------------------------------------------- acceptance & paths ---
@@ -268,15 +247,15 @@ void Vss::accept_check() {
   accepted_ = false;
   if (wef_ && wef_regular_) {
     const auto& s = *wef_;
-    Graph g = graph(/*regular_only=*/true);
+    const Graph& g = graph(/*regular_only=*/true);
     bool ok = static_cast<int>(s.W.size()) >= n() - ctx_.ts;
     std::vector<bool> inW(static_cast<std::size_t>(n()), false);
     for (int w : s.W) inW[static_cast<std::size_t>(w)] = true;
     for (int j : s.W)
       for (int k : s.W) {
         if (j >= k) continue;
-        const auto& vj = verdict_reg_[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
-        const auto& vk = verdict_reg_[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+        const auto& vj = verdicts_.reg(j, k);
+        const auto& vk = verdicts_.reg(k, j);
         if (vj && vk && !vj->ok && !vk->ok && vj->nok_index == vk->nok_index &&
             vj->nok_value != vk->nok_value)
           ok = false;

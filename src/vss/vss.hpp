@@ -28,10 +28,12 @@
 
 #include "src/ba/ba.hpp"
 #include "src/bcast/bc.hpp"
+#include "src/bcast/bc_bank.hpp"
 #include "src/core/timing.hpp"
 #include "src/field/bivariate.hpp"
 #include "src/graph/star.hpp"
 #include "src/sim/instance.hpp"
+#include "src/vss/verdicts.hpp"
 #include "src/vss/wire.hpp"
 #include "src/vss/wps.hpp"
 
@@ -68,7 +70,7 @@ class Vss : public Instance {
   void maybe_deal_own_wps();
   void on_wps_share(int j);
   void maybe_broadcast_verdict(int j);
-  void on_verdict(int i, int j, const std::optional<Bytes>& v, bool fallback);
+  void on_verdict(int slot, const std::optional<Bytes>& v, bool fallback);
 
   void dealer_find_wef();
   void dealer_try_star2();
@@ -80,7 +82,7 @@ class Vss : public Instance {
   void try_interpolate(const std::vector<int>& providers);
   void finish(std::vector<Fp> shares);
 
-  Graph graph(bool regular_only) const;
+  const Graph& graph(bool regular_only) const { return verdicts_.graph(regular_only); }
 
   int dealer_, L_;
   Ctx ctx_;
@@ -100,11 +102,12 @@ class Vss : public Instance {
   std::vector<std::unique_ptr<Wps>> wps_;            // n children, dealer j
   std::vector<std::optional<std::vector<Fp>>> wsh_;  // wsh_[j]: my shares in Π(j)WPS
 
-  // Verdict state.
-  std::vector<std::vector<std::optional<wire::Verdict>>> verdict_reg_, verdict_any_;
+  // Verdict state (incrementally maintained consistency graphs).
+  VerdictState verdicts_;
   std::vector<char> verdict_broadcast_;
 
-  std::vector<std::unique_ptr<Bc>> ok_bc_;
+  // The n² ok-verdict broadcasts ride one slot-multiplexed bank.
+  std::unique_ptr<BcBank> ok_bank_;
   std::unique_ptr<Bc> wef_bc_, star2_bc_;
   std::unique_ptr<Ba> ba_;
 

@@ -25,11 +25,13 @@
 
 #include "src/ba/ba.hpp"
 #include "src/bcast/bc.hpp"
+#include "src/bcast/bc_bank.hpp"
 #include "src/core/timing.hpp"
 #include "src/field/bivariate.hpp"
 #include "src/graph/star.hpp"
 #include "src/rs/oec_bank.hpp"
 #include "src/sim/instance.hpp"
+#include "src/vss/verdicts.hpp"
 #include "src/vss/wire.hpp"
 
 namespace bobw {
@@ -69,7 +71,7 @@ class Wps : public Instance {
   void on_points(const Msg& m);
   void maybe_send_points();
   void maybe_broadcast_verdict(int j);
-  void on_verdict(int i, int j, const std::optional<Bytes>& v, bool fallback);
+  void on_verdict(int slot, const std::optional<Bytes>& v, bool fallback);
 
   // --- dealer ---------------------------------------------------------
   void dealer_find_wef();
@@ -84,7 +86,7 @@ class Wps : public Instance {
   void feed_oec(int j);
   void finish(std::vector<Fp> shares);
 
-  Graph graph(bool regular_only) const;
+  const Graph& graph(bool regular_only) const { return verdicts_.graph(regular_only); }
 
   int dealer_, L_;
   Ctx ctx_;
@@ -102,12 +104,15 @@ class Wps : public Instance {
   bool points_sent_ = false;
   std::vector<std::optional<std::vector<Fp>>> pts_;  // pts_[j]: L values from Pj
 
-  // Verdict state: verdict_{reg,any}_[i][j] = Pi's broadcast verdict on Pj.
-  std::vector<std::vector<std::optional<wire::Verdict>>> verdict_reg_, verdict_any_;
+  // Verdict state: Pi's broadcast verdict on Pj, plus the incrementally
+  // maintained consistency graphs.
+  VerdictState verdicts_;
   std::vector<char> verdict_broadcast_;  // have I broadcast my verdict on Pj?
 
-  // Sub-protocol instances.
-  std::vector<std::unique_ptr<Bc>> ok_bc_;  // n*n, index i*n+j
+  // Sub-protocol instances. The n² ok-verdict broadcasts are one BcBank
+  // (slot i*n+j = Pi's verdict on Pj, sender Pi) multiplexed over shared
+  // Acast/SBA rounds instead of n² independent ΠBC instances.
+  std::unique_ptr<BcBank> ok_bank_;
   std::unique_ptr<Bc> wef_bc_, star2_bc_;
   std::unique_ptr<Ba> ba_;
 

@@ -1,0 +1,589 @@
+// Differential suite for the slot-multiplexed broadcast bank.
+//
+// BcBank must preserve each slot's ΠBC decision logic bit-for-bit while
+// multiplexing the transport. In the round-crisp synchronous network the
+// bank's Δ-boundary flushes land on exactly the ticks where the per-pair
+// path generated its traffic and the delay is the constant Δ (no RNG draw),
+// so a BcBank run must match K independent per-pair Bc instances
+// (bench/legacy_bcgrid.hpp — the frozen pre-bank composition) EXACTLY:
+// per-slot regular outputs, regular decision ticks, fallback switches and
+// final outputs, under honest, crash, Byzantine-sender and staggered-start
+// scenarios. In the asynchronous network the delay-RNG streams diverge by
+// construction (fewer messages), so the differential drops to the protocol
+// guarantees both planes must satisfy: weak validity per slot and identical
+// final values for honest senders.
+#include <gtest/gtest.h>
+
+#include "bench/legacy_bcgrid.hpp"
+#include "src/bcast/bc.hpp"
+#include "src/bcast/bc_bank.hpp"
+#include "tests/harness.hpp"
+
+namespace bobw {
+namespace {
+
+using test::make_world;
+
+constexpr Tick kNever = ~Tick{0};
+
+struct SlotRecord {
+  std::optional<std::optional<Bytes>> regular;  // outer: decided?
+  Tick regular_time = kNever;
+  std::optional<Bytes> fallback;
+  Tick fallback_time = kNever;
+  std::optional<Bytes> final_out;
+};
+
+/// Per-party records of a K-slot run, bank- or grid-backed.
+struct Records {
+  std::vector<std::vector<SlotRecord>> r;  // [party][slot]
+  Records(int n, int K)
+      : r(static_cast<std::size_t>(n), std::vector<SlotRecord>(static_cast<std::size_t>(K))) {}
+  SlotRecord& at(int p, int s) {
+    return r[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+  }
+};
+
+struct BankRun {
+  std::vector<std::unique_ptr<BcBank>> inst;  // per party
+  Records rec;
+
+  BankRun(test::World& w, const std::vector<int>& senders, Tick start)
+      : rec(w.n(), static_cast<int>(senders.size())) {
+    inst.resize(static_cast<std::size_t>(w.n()));
+    for (int i = 0; i < w.n(); ++i) {
+      if (!w.runs_code(i)) continue;
+      auto* world = &w;
+      auto* recs = &rec;
+      int p = i;
+      inst[static_cast<std::size_t>(i)] = std::make_unique<BcBank>(
+          w.party(i), "g", senders, w.ctx, start,
+          [recs, world, p](int slot, const std::optional<Bytes>& v, bool fb) {
+            SlotRecord& sr = recs->at(p, slot);
+            if (fb) {
+              sr.fallback = v;
+              sr.fallback_time = world->sim->now();
+            } else {
+              sr.regular = v;
+              sr.regular_time = world->sim->now();
+            }
+          });
+    }
+  }
+
+  void capture_finals(test::World& w, int K) {
+    for (int i = 0; i < w.n(); ++i) {
+      if (!inst[static_cast<std::size_t>(i)]) continue;
+      for (int s = 0; s < K; ++s)
+        rec.at(i, s).final_out = inst[static_cast<std::size_t>(i)]->output(s);
+    }
+  }
+};
+
+struct GridRun {
+  // inst[party][slot]
+  std::vector<std::vector<std::unique_ptr<legacybc::Bc>>> inst;
+  Records rec;
+
+  GridRun(test::World& w, const std::vector<int>& senders, Tick start)
+      : rec(w.n(), static_cast<int>(senders.size())) {
+    const int K = static_cast<int>(senders.size());
+    inst.resize(static_cast<std::size_t>(w.n()));
+    for (int i = 0; i < w.n(); ++i) {
+      if (!w.runs_code(i)) continue;
+      inst[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(K));
+      for (int s = 0; s < K; ++s) {
+        auto* world = &w;
+        auto* recs = &rec;
+        int p = i, slot = s;
+        inst[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)] =
+            std::make_unique<legacybc::Bc>(
+                w.party(i), "g:" + std::to_string(s), senders[static_cast<std::size_t>(s)],
+                w.ctx, start,
+                [recs, world, p, slot](const std::optional<Bytes>& v, bool fb) {
+                  SlotRecord& sr = recs->at(p, slot);
+                  if (fb) {
+                    sr.fallback = v;
+                    sr.fallback_time = world->sim->now();
+                  } else {
+                    sr.regular = v;
+                    sr.regular_time = world->sim->now();
+                  }
+                });
+      }
+    }
+  }
+
+  void capture_finals(test::World& w, int K) {
+    for (int i = 0; i < w.n(); ++i) {
+      if (inst[static_cast<std::size_t>(i)].empty()) continue;
+      for (int s = 0; s < K; ++s)
+        rec.at(i, s).final_out = inst[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]->output();
+    }
+  }
+};
+
+/// Slot value a test sender broadcasts: distinct per slot, >= 2 bytes.
+Bytes slot_value(int slot) {
+  return Bytes{static_cast<std::uint8_t>(0xA0 + slot), static_cast<std::uint8_t>(slot * 7 + 1)};
+}
+
+void expect_identical(const Records& bank, const Records& grid, int n, int K,
+                      const char* tag) {
+  for (int p = 0; p < n; ++p)
+    for (int s = 0; s < K; ++s) {
+      const SlotRecord& b = bank.r[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+      const SlotRecord& g = grid.r[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+      ASSERT_EQ(b.regular.has_value(), g.regular.has_value())
+          << tag << " party " << p << " slot " << s;
+      if (b.regular) {
+        EXPECT_EQ(*b.regular, *g.regular) << tag << " party " << p << " slot " << s;
+        EXPECT_EQ(b.regular_time, g.regular_time) << tag << " party " << p << " slot " << s;
+      }
+      EXPECT_EQ(b.fallback, g.fallback) << tag << " party " << p << " slot " << s;
+      if (b.fallback) {
+        EXPECT_EQ(b.fallback_time, g.fallback_time) << tag << " party " << p << " slot " << s;
+      }
+      EXPECT_EQ(b.final_out, g.final_out) << tag << " party " << p << " slot " << s;
+    }
+}
+
+/// The n²-slot ok-grid shape: slot i*n+j has sender i.
+std::vector<int> grid_senders(int n) {
+  std::vector<int> s(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) s[static_cast<std::size_t>(i * n + j)] = i;
+  return s;
+}
+
+// ---- sync: exact equality against the frozen per-pair grid ----------------
+
+TEST(BcBank, SyncOkGridExactlyMatchesPerPairGrid) {
+  const int n = 4, ts = 1, K = n * n;
+  auto senders = grid_senders(n);
+
+  auto wb = make_world(n, ts, 0, NetMode::kSynchronous);
+  BankRun bank(wb, senders, 0);
+  for (int i = 0; i < n; ++i)
+    wb.party(i).at(0, [&bank, i, n] {
+      for (int j = 0; j < n; ++j) bank.inst[static_cast<std::size_t>(i)]->broadcast(i * n + j, slot_value(i * n + j));
+    });
+  wb.sim->run();
+  bank.capture_finals(wb, K);
+  const auto bank_msgs = wb.sim->metrics().honest_msgs();
+
+  auto wg = make_world(n, ts, 0, NetMode::kSynchronous);
+  GridRun grid(wg, senders, 0);
+  for (int i = 0; i < n; ++i)
+    wg.party(i).at(0, [&grid, i, n] {
+      for (int j = 0; j < n; ++j)
+        grid.inst[static_cast<std::size_t>(i)][static_cast<std::size_t>(i * n + j)]->broadcast(
+            slot_value(i * n + j));
+    });
+  wg.sim->run();
+  grid.capture_finals(wg, K);
+  const auto grid_msgs = wg.sim->metrics().honest_msgs();
+
+  expect_identical(bank.rec, grid.rec, n, K, "sync grid");
+  // Every slot decided its sender's value through regular mode at T_BC.
+  for (int p = 0; p < n; ++p)
+    for (int s = 0; s < K; ++s) {
+      ASSERT_TRUE(bank.rec.at(p, s).regular);
+      ASSERT_TRUE(*bank.rec.at(p, s).regular);
+      EXPECT_EQ(**bank.rec.at(p, s).regular, slot_value(s));
+      EXPECT_EQ(bank.rec.at(p, s).regular_time, wb.ctx.T.t_bc);
+    }
+  // The transport multiplexing is the point: >= 5x fewer honest messages.
+  EXPECT_GE(grid_msgs, 5 * bank_msgs) << "grid " << grid_msgs << " bank " << bank_msgs;
+}
+
+TEST(BcBank, SyncSlotsStartedInDifferentWindowsExactMatch) {
+  // Slots enter the bank in different Δ-windows: in-window staggered starts,
+  // one slot past the regular deadline (fallback path) and one never-started
+  // slot (⊥, no fallback).
+  const int n = 4, ts = 1;
+  const std::vector<int> senders{0, 1, 2, 3, 0, 1};
+  const int K = static_cast<int>(senders.size());
+
+  auto run_broadcasts = [&](auto broadcast, test::World& w) {
+    for (int s = 0; s < K - 1; ++s) {
+      const int snd = senders[static_cast<std::size_t>(s)];
+      const Tick when = s == 4 ? w.ctx.T.t_bc + 2 * w.ctx.delta
+                               : static_cast<Tick>(s % 3) * w.ctx.delta;
+      w.party(snd).at(when, [broadcast, s] { broadcast(s); });
+    }
+    // slot K-1 never broadcast.
+  };
+
+  auto wb = make_world(n, ts, 0, NetMode::kSynchronous);
+  BankRun bank(wb, senders, 0);
+  run_broadcasts(
+      [&bank, &senders](int s) {
+        bank.inst[static_cast<std::size_t>(senders[static_cast<std::size_t>(s)])]->broadcast(
+            s, slot_value(s));
+      },
+      wb);
+  wb.sim->run();
+  bank.capture_finals(wb, K);
+
+  auto wg = make_world(n, ts, 0, NetMode::kSynchronous);
+  GridRun grid(wg, senders, 0);
+  run_broadcasts(
+      [&grid, &senders](int s) {
+        grid.inst[static_cast<std::size_t>(senders[static_cast<std::size_t>(s)])]
+                 [static_cast<std::size_t>(s)]
+                     ->broadcast(slot_value(s));
+      },
+      wg);
+  wg.sim->run();
+  grid.capture_finals(wg, K);
+
+  expect_identical(bank.rec, grid.rec, n, K, "staggered");
+  // Late slot 4: regular ⊥ everywhere, later fallback to the value.
+  for (int p = 0; p < n; ++p) {
+    ASSERT_TRUE(bank.rec.at(p, 4).regular);
+    EXPECT_FALSE(*bank.rec.at(p, 4).regular);
+    ASSERT_TRUE(bank.rec.at(p, 4).fallback);
+    EXPECT_EQ(*bank.rec.at(p, 4).fallback, slot_value(4));
+  }
+  // Never-started slot 5: ⊥ regular, no fallback.
+  for (int p = 0; p < n; ++p) {
+    ASSERT_TRUE(bank.rec.at(p, 5).regular);
+    EXPECT_FALSE(*bank.rec.at(p, 5).regular);
+    EXPECT_FALSE(bank.rec.at(p, 5).fallback);
+  }
+}
+
+TEST(BcBank, SyncCrashSendersExactMatch) {
+  const int n = 4, ts = 1, K = n * n;
+  auto senders = grid_senders(n);
+
+  auto broadcast_all = [&](auto broadcast, test::World& w) {
+    for (int i = 0; i < n; ++i) {
+      if (!w.runs_code(i)) continue;
+      w.party(i).at(0, [broadcast, i, n] {
+        for (int j = 0; j < n; ++j) broadcast(i, i * n + j);
+      });
+    }
+  };
+
+  auto wb = make_world(n, ts, 0, NetMode::kSynchronous, test::crash({1}));
+  BankRun bank(wb, senders, 0);
+  broadcast_all(
+      [&bank](int i, int s) { bank.inst[static_cast<std::size_t>(i)]->broadcast(s, slot_value(s)); },
+      wb);
+  wb.sim->run();
+  bank.capture_finals(wb, K);
+
+  auto wg = make_world(n, ts, 0, NetMode::kSynchronous, test::crash({1}));
+  GridRun grid(wg, senders, 0);
+  broadcast_all(
+      [&grid](int i, int s) {
+        grid.inst[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]->broadcast(slot_value(s));
+      },
+      wg);
+  wg.sim->run();
+  grid.capture_finals(wg, K);
+
+  // Crashed party 1 records nothing; compare the running parties only.
+  for (int p = 0; p < n; ++p) {
+    if (p == 1) continue;
+    for (int s = 0; s < K; ++s) {
+      const SlotRecord& b = bank.rec.at(p, s);
+      ASSERT_TRUE(b.regular) << p << " " << s;
+      if (s / n == 1) {
+        EXPECT_FALSE(*b.regular) << p << " " << s;  // crashed sender's slots: ⊥
+      } else {
+        ASSERT_TRUE(*b.regular) << p << " " << s;
+        EXPECT_EQ(**b.regular, slot_value(s));
+      }
+      EXPECT_EQ(b.regular, grid.rec.at(p, s).regular) << p << " " << s;
+      EXPECT_EQ(b.regular_time, grid.rec.at(p, s).regular_time) << p << " " << s;
+      EXPECT_EQ(b.fallback, grid.rec.at(p, s).fallback) << p << " " << s;
+      EXPECT_EQ(b.final_out, grid.rec.at(p, s).final_out) << p << " " << s;
+    }
+  }
+}
+
+// ---- sync: Byzantine equivocating sender, same effective garbling ---------
+
+/// Garbles the per-pair plane: INIT bodies on "/acast" routes get their first
+/// byte replaced by the recipient's parity.
+class GridEquivocator : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    const std::string& r = route_name(m);
+    if (m.type == Acast::kInit && !m.body.empty() && r.size() >= 6 &&
+        r.compare(r.size() - 6, 6, "/acast") == 0)
+      m.body.mutable_bytes()[0] = static_cast<std::uint8_t>(m.to & 1);
+    return true;
+  }
+};
+
+/// The same per-slot garbling on the banked plane: INIT groups inside a
+/// coalesced batch get their value's first byte replaced identically.
+class BankEquivocator : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    const std::string& r = route_name(m);
+    if (m.type != AcastBank::kBatch || r.size() < 6 || r.compare(r.size() - 6, 6, "/acast") != 0)
+      return true;
+    auto groups = bcwire::decode_acast_batch(m.body);
+    bool changed = false;
+    for (auto& g : groups) {
+      if (g.type != AcastBank::kInit || g.value.empty()) continue;
+      g.value[0] = static_cast<std::uint8_t>(m.to & 1);
+      changed = true;
+    }
+    if (changed) m.body = bcwire::encode_acast_batch(groups);
+    return true;
+  }
+};
+
+TEST(BcBank, SyncByzantineEquivocatingSenderExactMatch) {
+  const int n = 4, ts = 1, K = n * n;
+  auto senders = grid_senders(n);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto badv = std::make_shared<BankEquivocator>();
+    badv->corrupt(0);
+    auto wb = make_world(n, ts, 0, NetMode::kSynchronous, badv, seed);
+    BankRun bank(wb, senders, 0);
+    for (int i = 0; i < n; ++i)
+      wb.party(i).at(0, [&bank, i, n] {
+        for (int j = 0; j < n; ++j) bank.inst[static_cast<std::size_t>(i)]->broadcast(i * n + j, slot_value(i * n + j));
+      });
+    wb.sim->run();
+    bank.capture_finals(wb, K);
+
+    auto gadv = std::make_shared<GridEquivocator>();
+    gadv->corrupt(0);
+    auto wg = make_world(n, ts, 0, NetMode::kSynchronous, gadv, seed);
+    GridRun grid(wg, senders, 0);
+    for (int i = 0; i < n; ++i)
+      wg.party(i).at(0, [&grid, i, n] {
+        for (int j = 0; j < n; ++j)
+          grid.inst[static_cast<std::size_t>(i)][static_cast<std::size_t>(i * n + j)]->broadcast(
+              slot_value(i * n + j));
+      });
+    wg.sim->run();
+    grid.capture_finals(wg, K);
+
+    expect_identical(bank.rec, grid.rec, n, K, "byzantine");
+    // Consistency within the banked plane: honest parties agree per slot.
+    for (int s = 0; s < K; ++s)
+      for (int p = 2; p < n; ++p) {
+        ASSERT_TRUE(bank.rec.at(p, s).regular) << "seed " << seed;
+        EXPECT_EQ(*bank.rec.at(1, s).regular, *bank.rec.at(p, s).regular)
+            << "seed " << seed << " slot " << s;
+      }
+  }
+}
+
+// ---- garbled slot entries inside a coalesced batch ------------------------
+
+/// Corrupts exactly one slot's INIT entry inside the sender's batches —
+/// points its slot list out of range — leaving the sibling entries intact.
+class SlotEntryGarbler : public Adversary {
+ public:
+  explicit SlotEntryGarbler(std::uint32_t victim_slot) : victim_(victim_slot) {}
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override {
+    if (m.type != AcastBank::kBatch) return true;
+    auto groups = bcwire::decode_acast_batch(m.body);
+    bool changed = false;
+    for (auto& g : groups)
+      for (auto& s : g.slots)
+        if (g.type == AcastBank::kInit && s == victim_) {
+          s = 0xFFFF;  // out-of-range slot id: the entry is dropped, the rest stand
+          changed = true;
+        }
+    if (changed) m.body = bcwire::encode_acast_batch(groups);
+    return true;
+  }
+
+ private:
+  std::uint32_t victim_;
+};
+
+TEST(BcBank, GarbledSlotEntryInsideBatchLeavesSiblingSlotsIntact) {
+  // Corrupt party 1 garbles the INIT entry of its own slot 1*n+2 inside the
+  // same coalesced batch that carries its other INITs. The garbled slot must
+  // come out ⊥ (consistently), every other slot — including party 1's other
+  // slots, coalesced in the same wire message — exactly as in a clean run.
+  const int n = 4, ts = 1, K = n * n;
+  const std::uint32_t victim = 1u * n + 2u;
+  auto senders = grid_senders(n);
+  auto adv = std::make_shared<SlotEntryGarbler>(victim);
+  adv->corrupt(1);
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous, adv);
+  BankRun bank(w, senders, 0);
+  for (int i = 0; i < n; ++i)
+    w.party(i).at(0, [&bank, i, n] {
+      for (int j = 0; j < n; ++j) bank.inst[static_cast<std::size_t>(i)]->broadcast(i * n + j, slot_value(i * n + j));
+    });
+  w.sim->run();
+  bank.capture_finals(w, K);
+
+  for (int p = 0; p < n; ++p)
+    for (int s = 0; s < K; ++s) {
+      const SlotRecord& r = bank.rec.at(p, s);
+      ASSERT_TRUE(r.regular) << p << " " << s;
+      if (s == static_cast<int>(victim)) {
+        EXPECT_FALSE(*r.regular) << p;  // INIT never valid anywhere
+        EXPECT_FALSE(r.fallback) << p;
+      } else {
+        ASSERT_TRUE(*r.regular) << p << " " << s;
+        EXPECT_EQ(**r.regular, slot_value(s));
+        EXPECT_EQ(r.regular_time, w.ctx.T.t_bc);
+      }
+    }
+}
+
+TEST(BcBank, TruncatedBatchSalvagesWellFormedPrefixGroups) {
+  // A batch whose tail is chopped mid-group still delivers the prefix
+  // groups: the sender's first INIT slot decides, the truncated one is ⊥.
+  class Truncator : public Adversary {
+   public:
+    bool participates(int) const override { return true; }
+    bool filter_outgoing(Msg& m, Rng&) override {
+      if (m.type != AcastBank::kBatch) return true;
+      auto groups = bcwire::decode_acast_batch(m.body);
+      if (groups.size() < 2 || groups[0].type != AcastBank::kInit) return true;
+      Bytes& b = m.body.mutable_bytes();
+      b.resize(b.size() - 2);  // chop into the last group's slot list
+      return true;
+    }
+  };
+  const int n = 4, ts = 1;
+  const std::vector<int> senders{1, 1};  // two slots, both sender 1
+  auto adv = std::make_shared<Truncator>();
+  adv->corrupt(1);
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous, adv);
+  BankRun bank(w, senders, 0);
+  w.party(1).at(0, [&bank] {
+    bank.inst[1]->broadcast(0, slot_value(0));
+    bank.inst[1]->broadcast(1, slot_value(1));
+  });
+  w.sim->run();
+  bank.capture_finals(w, 2);
+
+  for (int p = 0; p < n; ++p) {
+    ASSERT_TRUE(bank.rec.at(p, 0).regular) << p;
+    ASSERT_TRUE(*bank.rec.at(p, 0).regular) << p;
+    EXPECT_EQ(**bank.rec.at(p, 0).regular, slot_value(0));
+    ASSERT_TRUE(bank.rec.at(p, 1).regular) << p;
+    EXPECT_FALSE(*bank.rec.at(p, 1).regular) << p;  // truncated INIT never landed
+  }
+}
+
+// ---- async: semantic differential -----------------------------------------
+
+TEST(BcBank, AsyncHonestSendersMatchPerPairGuarantees) {
+  // Async delays draw different RNG streams on the two planes, so exact tick
+  // equality is out of reach by construction; both planes must still deliver
+  // the paper guarantees per slot: regular output is the sender's value or ⊥
+  // (weak validity), the final output is always the sender's value.
+  const int n = 4, ts = 1;
+  const std::vector<int> senders{0, 1, 2, 3, 0, 2};
+  const int K = static_cast<int>(senders.size());
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto wb = make_world(n, ts, 0, NetMode::kAsynchronous, nullptr, seed);
+    BankRun bank(wb, senders, 0);
+    for (int s = 0; s < K; ++s) {
+      const int snd = senders[static_cast<std::size_t>(s)];
+      wb.party(snd).at(0, [&bank, snd, s] {
+        bank.inst[static_cast<std::size_t>(snd)]->broadcast(s, slot_value(s));
+      });
+    }
+    wb.sim->run();
+    bank.capture_finals(wb, K);
+
+    auto wg = make_world(n, ts, 0, NetMode::kAsynchronous, nullptr, seed);
+    GridRun grid(wg, senders, 0);
+    for (int s = 0; s < K; ++s) {
+      const int snd = senders[static_cast<std::size_t>(s)];
+      wg.party(snd).at(0, [&grid, snd, s] {
+        grid.inst[static_cast<std::size_t>(snd)][static_cast<std::size_t>(s)]->broadcast(
+            slot_value(s));
+      });
+    }
+    wg.sim->run();
+    grid.capture_finals(wg, K);
+
+    for (int p = 0; p < n; ++p)
+      for (int s = 0; s < K; ++s) {
+        for (const Records* rec : {&bank.rec, &grid.rec}) {
+          const SlotRecord& r = rec->r[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+          ASSERT_TRUE(r.regular) << "seed " << seed;
+          if (*r.regular) {
+            EXPECT_EQ(**r.regular, slot_value(s)) << "seed " << seed;
+          }
+          ASSERT_TRUE(r.final_out) << "seed " << seed << " party " << p << " slot " << s;
+          EXPECT_EQ(*r.final_out, slot_value(s)) << "seed " << seed;
+        }
+      }
+  }
+}
+
+// ---- the K = 1 wrapper ----------------------------------------------------
+
+TEST(BcBank, K1WrapperMatchesPerPairBcExactly) {
+  const int n = 4, ts = 1;
+  for (bool late : {false, true}) {
+    auto wb = make_world(n, ts, 0, NetMode::kSynchronous);
+    Records brec(n, 1);
+    std::vector<std::unique_ptr<Bc>> binst;
+    for (int i = 0; i < n; ++i) {
+      auto* world = &wb;
+      auto* recs = &brec;
+      int p = i;
+      binst.push_back(std::make_unique<Bc>(
+          wb.party(i), "bc", 2, wb.ctx, 0,
+          [recs, world, p](const std::optional<Bytes>& v, bool fb) {
+            SlotRecord& sr = recs->at(p, 0);
+            if (fb) {
+              sr.fallback = v;
+              sr.fallback_time = world->sim->now();
+            } else {
+              sr.regular = v;
+              sr.regular_time = world->sim->now();
+            }
+          }));
+    }
+    const Tick when = late ? wb.ctx.T.t_bc + 3 * wb.ctx.delta : 0;
+    wb.party(2).at(when, [&binst] { binst[2]->broadcast({0x42, 0x43}); });
+    wb.sim->run();
+    for (int i = 0; i < n; ++i) brec.at(i, 0).final_out = binst[static_cast<std::size_t>(i)]->output();
+
+    auto wg = make_world(n, ts, 0, NetMode::kSynchronous);
+    Records grec(n, 1);
+    std::vector<std::unique_ptr<legacybc::Bc>> ginst;
+    for (int i = 0; i < n; ++i) {
+      auto* world = &wg;
+      auto* recs = &grec;
+      int p = i;
+      ginst.push_back(std::make_unique<legacybc::Bc>(
+          wg.party(i), "bc", 2, wg.ctx, 0,
+          [recs, world, p](const std::optional<Bytes>& v, bool fb) {
+            SlotRecord& sr = recs->at(p, 0);
+            if (fb) {
+              sr.fallback = v;
+              sr.fallback_time = world->sim->now();
+            } else {
+              sr.regular = v;
+              sr.regular_time = world->sim->now();
+            }
+          }));
+    }
+    wg.party(2).at(when, [&ginst] { ginst[2]->broadcast({0x42, 0x43}); });
+    wg.sim->run();
+    for (int i = 0; i < n; ++i) grec.at(i, 0).final_out = ginst[static_cast<std::size_t>(i)]->output();
+
+    expect_identical(brec, grec, n, 1, late ? "k1 late" : "k1");
+  }
+}
+
+}  // namespace
+}  // namespace bobw

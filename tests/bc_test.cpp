@@ -109,13 +109,22 @@ TEST(Bc, AsyncWeakValidityNeverWrongValue) {
 
 TEST(Bc, SyncConsistencyCorruptEquivocatingSender) {
   // Thm 3.5 (sync, corrupt S): all honest parties output the SAME value at
-  // T_BC through regular mode.
+  // T_BC through regular mode. The INIT now travels as a (type, value) group
+  // inside a coalesced AcastBank batch; the equivocator decodes the batch and
+  // garbles the INIT group's value per recipient.
   class Equivocator : public Adversary {
    public:
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
-      if (m.type == Acast::kInit && !m.body.empty())
-        m.body.mutable_bytes()[0] = static_cast<std::uint8_t>(m.to & 1);
+      if (m.type != AcastBank::kBatch || route_name(m) != "bc/acast") return true;
+      auto groups = bcwire::decode_acast_batch(m.body);
+      bool changed = false;
+      for (auto& g : groups) {
+        if (g.type != AcastBank::kInit || g.value.empty()) continue;
+        g.value[0] = static_cast<std::uint8_t>(m.to & 1);
+        changed = true;
+      }
+      if (changed) m.body = bcwire::encode_acast_batch(groups);
       return true;
     }
   };
@@ -143,7 +152,15 @@ TEST(Bc, AsyncFallbackConsistencyCorruptSender) {
    public:
     bool participates(int) const override { return true; }
     bool filter_outgoing(Msg& m, Rng&) override {
-      if (m.type == Acast::kInit && m.to == 2 && !m.body.empty()) m.body.mutable_bytes()[0] ^= 0x80;
+      if (m.to != 2 || m.type != AcastBank::kBatch || route_name(m) != "bc/acast") return true;
+      auto groups = bcwire::decode_acast_batch(m.body);
+      bool changed = false;
+      for (auto& g : groups) {
+        if (g.type != AcastBank::kInit || g.value.empty()) continue;
+        g.value[0] ^= 0x80;
+        changed = true;
+      }
+      if (changed) m.body = bcwire::encode_acast_batch(groups);
       return true;
     }
   };

@@ -3,6 +3,7 @@
 // Theorem 7.1: honest agreement and correctness w.r.t. the CS inputs.
 #include <gtest/gtest.h>
 
+#include "src/bcast/bc_bank.hpp"
 #include "src/core/runner.hpp"
 #include "src/mpc/cir_eval.hpp"
 #include "src/vss/wire.hpp"
@@ -178,17 +179,25 @@ class NokSpammer : public Adversary {
  public:
   bool participates(int) const override { return true; }
   bool filter_outgoing(Msg& m, Rng& rng) override {
-    // Verdict broadcasts travel through ΠBC whose instance ids contain
-    // "/ok:<i>:<j>/"; the payload of the underlying Acast INIT is the
-    // verdict encoding. Garble those into NOKs with random values.
-    if (route_name(m).find("/ok:") != std::string::npos && m.type == 0 && m.body.size() == 1 &&
-        m.body[0] == 1) {
+    // Verdict broadcasts ride the ok-grid's slot-multiplexed bank: instance
+    // ids end in "/ok/acast" and every batch group's value for an INIT entry
+    // is a verdict encoding. Garble the OK ones into NOKs with random values.
+    const std::string& route = route_name(m);
+    if (m.type != AcastBank::kBatch || route.size() < 9 ||
+        route.compare(route.size() - 9, 9, "/ok/acast") != 0)
+      return true;
+    auto groups = bcwire::decode_acast_batch(m.body);
+    bool changed = false;
+    for (auto& g : groups) {
+      if (g.type != AcastBank::kInit || g.value.size() != 1 || g.value[0] != 1) continue;
       wire::Verdict v;
       v.ok = false;
       v.nok_index = 0;
       v.nok_value = Fp(rng.next_u64() % Fp::kP);
-      m.body = wire::encode_verdict(v);
+      g.value = wire::encode_verdict(v);
+      changed = true;
     }
+    if (changed) m.body = bcwire::encode_acast_batch(groups);
     return true;
   }
 };

@@ -1,12 +1,20 @@
 // Golden-trace pins for the simulator message plane.
 //
 // The PR 4 refactor (interned routes, shared payloads, typed delivery lane)
-// must be a pure mechanical rewrite of the message plane: with fixed seeds,
-// run_mpc has to produce bit-identical outputs, finish times, communication
-// counts and event counts. The expected values below were captured on the
-// PR 3 plane (string-routed messages, per-delivery closures) and freeze the
-// full end-to-end trace — any event reordered, any message dropped or
-// double-charged, any RNG draw moved shifts at least one of them.
+// had to preserve the full trace bit-for-bit. The PR 5 broadcast bank
+// changes the message flow BY DESIGN (n² ok-verdict ΠBC instances collapse
+// into shared coalesced Acast batches and one SBA vector per round), so the
+// communication/event counts below are re-pinned on the banked plane. What
+// must NOT move versus the frozen per-pair path (bench/legacy_bcgrid.hpp,
+// captured by the PR 4 pins):
+//   * every party's output and input_cs, in every scenario;
+//   * synchronous finish times and end time — the bank flushes at exactly
+//     the Δ-boundaries where the per-pair path generated its traffic, so the
+//     round-crisp schedule is tick-identical (the sync values below are
+//     byte-for-byte the PR 4 per-pair values);
+//   * async finish times stay within the same protocol deadlines (exact
+//     ticks shift: fewer messages consume a different delay-RNG stream).
+// The per-slot decision equivalence itself is pinned by tests/bc_bank_test.
 //
 // The same file carries the message-plane semantics tests the refactor must
 // preserve: payload aliasing under send_all, delivery-before-timer
@@ -72,9 +80,9 @@ TEST(GoldenTrace, SumAllN4SyncSeed1) {
            {26, 26, 26, 26},
            {117000, 117000, 117000, 117000},
            {0, 1, 2, 3},
-           43404288,
-           306480,
-           398184,
+           20647680,
+           68592,
+           93120,
            117000};
   expect_golden(g);
 }
@@ -94,9 +102,9 @@ TEST(GoldenTrace, PairwiseN4SyncCrash3Seed7) {
            {50, 50, 50, std::nullopt},
            {122000, 122000, 122000, 0},
            {0, 1, 2},
-           26400000,
-           195348,
-           263190,
+           12877056,
+           47892,
+           64614,
            122000};
   expect_golden(g);
 }
@@ -115,12 +123,12 @@ TEST(GoldenTrace, SumAllN5AsyncCrash2Seed3) {
            }(),
            circuits::sum_all(5),
            {32, 32, std::nullopt, 32, 32},
-           {139099, 139547, 0, 137937, 138335},
+           {137228, 136953, 0, 136980, 137308},
            {0, 1, 3, 4},
-           95901520,
-           797275,
-           1023697,
-           140188};
+           35792720,
+           173330,
+           220911,
+           138541};
   expect_golden(g);
 }
 

@@ -6,6 +6,7 @@
 #include "src/bcast/bc.hpp"
 #include "src/mpc/sharing.hpp"
 #include "src/rs/oec.hpp"
+#include "src/vss/vss.hpp"
 #include "tests/harness.hpp"
 
 namespace bobw {
@@ -114,6 +115,59 @@ TEST(BcSweep64, CrashAdversaryHonestSenderStillDelivers) {
     if (!inst[static_cast<std::size_t>(i)]) continue;
     ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->output()) << i;
     EXPECT_EQ(*inst[static_cast<std::size_t>(i)]->output(), m) << i;
+  }
+}
+
+// ---- production-scale sweep: ΠWPS / ΠVSS at n = 32 ------------------------
+//
+// The ok-verdict grid at n = 32 is 1024 ΠBC slots; before the broadcast bank
+// that was 1024 Acasts + 1024 phase-king SBAs per sharing and the sweep was
+// unaffordable. On the bank it is one coalesced Acast batch per Δ-window and
+// one SBA vector per round.
+
+TEST(WpsSweep32, HonestDealerSharesAtDeadline) {
+  const int n = 32, ts = (n - 1) / 3;
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous);
+  std::vector<std::unique_ptr<Wps>> inst(static_cast<std::size_t>(n));
+  std::vector<std::optional<Tick>> done(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& slot = done[static_cast<std::size_t>(i)];
+    auto* world = &w;
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Wps>(
+        w.party(i), "wps", 0, 1, w.ctx, 0,
+        [&slot, world](const std::vector<Fp>&) { slot = world->sim->now(); });
+  }
+  Rng rng(7);
+  Poly q = Poly::random(ts, rng);
+  w.party(0).at(0, [&] { inst[0]->deal({q}); });
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(done[static_cast<std::size_t>(i)]) << i;
+    EXPECT_LE(*done[static_cast<std::size_t>(i)], w.ctx.T.t_wps) << i;
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->shares()[0], q.eval(alpha(i))) << i;
+  }
+}
+
+TEST(VssSweep32, HonestDealerSharesAtDeadline) {
+  const int n = 32, ts = (n - 1) / 3;
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous);
+  std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(n));
+  std::vector<std::optional<Tick>> done(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& slot = done[static_cast<std::size_t>(i)];
+    auto* world = &w;
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Vss>(
+        w.party(i), "vss", 0, 1, w.ctx, 0,
+        [&slot, world](const std::vector<Fp>&) { slot = world->sim->now(); });
+  }
+  Rng rng(9);
+  Poly q = Poly::random(ts, rng);
+  w.party(0).at(0, [&] { inst[0]->deal({q}); });
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(done[static_cast<std::size_t>(i)]) << i;
+    EXPECT_LE(*done[static_cast<std::size_t>(i)], w.ctx.T.t_vss) << i;
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->shares()[0], q.eval(alpha(i))) << i;
   }
 }
 
