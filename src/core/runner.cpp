@@ -42,6 +42,7 @@ MpcResult run_mpc(const Circuit& cir, const std::vector<Fp>& inputs, const MpcCo
   net.delta = cfg.delta;
   net.async_min = cfg.async_min;
   net.async_max = cfg.async_max;
+  if (cfg.sync_min > 0) net.sync_min_delay = cfg.sync_min;
   net.clamp_sync_min();
 
   Sim sim(cfg.n, net, cfg.seed, adv);

@@ -27,6 +27,9 @@ struct MpcConfig {
   int ta = 0;
   NetMode mode = NetMode::kSynchronous;
   Tick delta = 1000;
+  /// Synchronous lower delay bound: delays drawn uniformly in [sync_min, Δ].
+  /// 0 keeps the legacy NetConfig mapping (round-crisp at Δ <= 1000).
+  Tick sync_min = 0;
   std::uint64_t seed = 1;
   /// Corrupt parties. Default behaviour: crash-silent. Pass a custom
   /// adversary for active behaviours.

@@ -1,0 +1,479 @@
+#include "src/core/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "src/ba/coin.hpp"
+#include "src/bcast/bc_bank.hpp"
+#include "src/core/runner.hpp"
+#include "src/field/bivariate.hpp"
+#include "src/vss/vss.hpp"
+
+namespace bobw {
+namespace {
+
+// Domain-separates the scenario expansion stream from every other use of the
+// fuzz seed (run RNG, inputs, dealing polynomials).
+constexpr std::uint64_t kScenarioSalt = 0x5CE4A210F0221ULL;
+
+constexpr std::uint64_t kEventBudget = 50'000'000ULL;
+
+const char* kind_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kMpc: return "mpc";
+    case ScenarioKind::kVss: return "vss";
+    case ScenarioKind::kBc: return "bc";
+  }
+  return "?";
+}
+
+const char* profile_name(NetProfile p) {
+  switch (p) {
+    case NetProfile::kSyncCrisp: return "sync-crisp";
+    case NetProfile::kSyncJitter: return "sync-jitter";
+    case NetProfile::kAsync: return "async";
+  }
+  return "?";
+}
+
+const char* circuit_name(int id) {
+  switch (id) {
+    case 0: return "sum_all";
+    case 1: return "pairwise";
+    case 2: return "sum_squares";
+    case 3: return "mult_chain";
+    case 4: return "product_chain";
+  }
+  return "?";
+}
+
+const char* mal_name(zoo::Mal m) {
+  switch (m) {
+    case zoo::Mal::kSilent: return "silent";
+    case zoo::Mal::kPassive: return "passive";
+    case zoo::Mal::kGarble: return "garble";
+    case zoo::Mal::kDrop: return "drop";
+    case zoo::Mal::kEquivocate: return "equivocate";
+    case zoo::Mal::kLag: return "lag";
+  }
+  return "?";
+}
+
+Circuit build_circuit(const Scenario& s) {
+  switch (s.circuit) {
+    case 0: return circuits::sum_all(s.n);
+    case 1: return circuits::pairwise_sums_product(s.n);
+    case 2: return circuits::sum_of_squares(s.n);
+    case 3: return circuits::mult_chain(s.n, s.depth);
+    default: return circuits::product_chain(s.n);
+  }
+}
+
+NetConfig build_net(const Scenario& s) {
+  NetConfig net;
+  net.mode = s.mode();
+  net.delta = s.delta;
+  net.sync_min_delay = s.profile == NetProfile::kSyncJitter ? s.sync_min : s.delta;
+  net.async_min = s.async_min;
+  net.async_max = s.async_max;
+  return net;
+}
+
+std::shared_ptr<zoo::ZooAdversary> build_adversary(const Scenario& s) {
+  return std::make_shared<zoo::ZooAdversary>(s.plans, s.sched, s.mobile);
+}
+
+template <typename T>
+int pick(Rng& g, const std::vector<T>& options) {
+  return static_cast<int>(options[g.next_below(options.size())]);
+}
+
+}  // namespace
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  os << "fuzz_seed=" << fuzz_seed << " kind=" << kind_name(kind) << " net=" << profile_name(profile)
+     << " n=" << n << " ts=" << ts << " ta=" << ta << " delta=" << delta;
+  if (profile == NetProfile::kSyncJitter) os << " sync_min=" << sync_min;
+  if (profile == NetProfile::kAsync) os << " band=[" << async_min << "," << async_max << "]";
+  if (kind == ScenarioKind::kMpc) {
+    os << " circuit=" << circuit_name(circuit);
+    if (circuit == 3) os << " depth=" << depth;
+  }
+  if (kind == ScenarioKind::kVss) os << " tamper=" << tamper_pct << "%";
+  os << " corrupt={";
+  bool first = true;
+  for (const auto& [p, plan] : plans) {
+    if (!first) os << ",";
+    first = false;
+    os << p << ":" << mal_name(plan.kind);
+    if (plan.kind == zoo::Mal::kGarble || plan.kind == zoo::Mal::kDrop) os << "@" << plan.percent;
+    if (plan.kind == zoo::Mal::kLag) os << "@" << plan.lag;
+  }
+  os << "}";
+  if (sched.victim >= 0) os << " sched=victim:" << sched.victim << "@" << sched.victim_lag;
+  if (!sched.side_of.empty()) {
+    os << " sched=partition:";
+    for (std::uint8_t side : sched.side_of) os << static_cast<int>(side);
+    os << "@heal" << sched.heal_at;
+  }
+  if (mobile.period > 0) os << " mobile=" << mobile.period << "x" << mobile.window;
+  os << " run_seed=" << run_seed;
+  if (sabotage) os << " SABOTAGE";
+  return os.str();
+}
+
+Scenario expand_scenario(std::uint64_t fuzz_seed) {
+  Scenario s;
+  s.fuzz_seed = fuzz_seed;
+  Rng g(mix64(fuzz_seed ^ kScenarioSalt));
+
+  const std::uint64_t kind_roll = g.next_below(100);
+  s.kind = kind_roll < 45   ? ScenarioKind::kMpc
+           : kind_roll < 75 ? ScenarioKind::kVss
+                            : ScenarioKind::kBc;
+  s.profile = static_cast<NetProfile>(g.next_below(3));
+
+  s.delta = static_cast<Tick>(pick(g, std::vector<Tick>{250, 1000, 4000}));
+  s.sync_min = s.delta;
+  if (s.profile == NetProfile::kSyncJitter) s.sync_min = 1 + g.next_below(s.delta);
+  s.async_min = 1;
+  s.async_max = s.delta * static_cast<Tick>(pick(g, std::vector<Tick>{2, 4, 8}));
+
+  // Size tables per kind, weighted so the expected wall cost of a scenario
+  // stays a few hundred ms (full-MPC blows up ~n^5; VSS is cheap to n = 13;
+  // the broadcast bank carries the n = 32 coverage).
+  switch (s.kind) {
+    case ScenarioKind::kMpc:
+      s.n = pick(g, std::vector<int>{4, 4, 4, 4, 5, 5, 5, 6, 6, 7});
+      break;
+    case ScenarioKind::kVss:
+      s.n = pick(g, std::vector<int>{4, 5, 5, 6, 7, 7, 8, 10, 10, 13});
+      break;
+    case ScenarioKind::kBc:
+      s.n = pick(g, std::vector<int>{8, 8, 12, 12, 16, 16, 24, 32});
+      break;
+  }
+  s.ts = 1 + static_cast<int>(g.next_below(static_cast<std::uint64_t>((s.n - 1) / 3)));
+  const int ta_room = std::min(s.ts, s.n - 1 - 3 * s.ts);
+  s.ta = static_cast<int>(g.next_below(static_cast<std::uint64_t>(ta_room) + 1));
+
+  // Corrupt-set placement: any subset within the active network's budget,
+  // uniformly over party ids — party 0 (dealer in kVss) included.
+  const auto count = g.next_below(static_cast<std::uint64_t>(s.budget()) + 1);
+  std::set<int> corrupt;
+  while (corrupt.size() < count) corrupt.insert(static_cast<int>(g.next_below(static_cast<std::uint64_t>(s.n))));
+  for (int p : corrupt) {
+    zoo::PartyPlan plan;
+    plan.kind = static_cast<zoo::Mal>(g.next_below(6));
+    plan.percent = pick(g, std::vector<int>{10, 30, 50, 80});
+    plan.lag = s.delta * static_cast<Tick>(pick(g, std::vector<Tick>{1, 3, 10}));
+    s.plans[p] = plan;
+  }
+  s.tamper_pct = pick(g, std::vector<int>{25, 40, 60});
+  // A corrupt dealer's attack in kVss is the tampered dealing itself; it
+  // follows the protocol otherwise so the commitment machinery is exercised
+  // (a silent dealer is just the trivial no-output case).
+  if (s.kind == ScenarioKind::kVss && s.plans.count(0)) s.plans[0] = {zoo::Mal::kPassive, 50, 0};
+
+  // Scheduler strategy. Targeted-delay is legal in every profile as long as
+  // a synchronous victim is never starved past Δ; partitions hold honest
+  // traffic past Δ by design, so they are sampled in the async profile only.
+  const std::uint64_t sched_roll = g.next_below(100);
+  if (sched_roll < 30) {
+    s.sched.victim = static_cast<int>(g.next_below(static_cast<std::uint64_t>(s.n)));
+    if (s.profile == NetProfile::kAsync) {
+      s.sched.victim_lag = s.delta * static_cast<Tick>(pick(g, std::vector<Tick>{1, 2, 6}));
+    } else {
+      s.sched.victim_lag = 1 + g.next_below(s.delta);  // starve up to the Δ boundary
+    }
+  } else if (sched_roll < 55 && s.profile == NetProfile::kAsync) {
+    s.sched.side_of.resize(static_cast<std::size_t>(s.n));
+    for (auto& side : s.sched.side_of) side = static_cast<std::uint8_t>(g.next_bool());
+    // Degenerate single-side draws still make a partition: flip party 0.
+    if (std::count(s.sched.side_of.begin(), s.sched.side_of.end(), s.sched.side_of[0]) == s.n)
+      s.sched.side_of[0] ^= 1;
+    s.sched.heal_at = s.delta * static_cast<Tick>(pick(g, std::vector<Tick>{2, 4, 8}));
+  }
+
+  // Mobile corruption: rotate the active window across >= 2 non-silent
+  // corrupt parties. Silent plans are promoted to garbling first — silence
+  // cannot rotate (a party that never registered cannot join mid-run).
+  const std::uint64_t mobile_roll = g.next_below(100);
+  if (mobile_roll < 25 && corrupt.size() >= 2) {
+    for (auto& [p, plan] : s.plans)
+      if (plan.kind == zoo::Mal::kSilent) plan.kind = zoo::Mal::kGarble;
+    s.mobile.period = s.delta * static_cast<Tick>(pick(g, std::vector<Tick>{1, 2, 4}));
+    s.mobile.window = 1 + static_cast<int>(g.next_below(corrupt.size() - 1));
+  }
+
+  s.circuit = static_cast<int>(g.next_below(5));
+  s.depth = 1 + static_cast<int>(g.next_below(3));
+  s.run_seed = g.next_u64();
+  return s;
+}
+
+Scenario sabotage_scenario(std::uint64_t fuzz_seed) {
+  // Start from the normal expansion (so the repro seed round-trips), then
+  // break the corruption budget: two silent parties against ts = 1. The
+  // honest majority machinery cannot terminate, which the P1 liveness check
+  // must report.
+  Scenario s = expand_scenario(fuzz_seed);
+  s.kind = ScenarioKind::kMpc;
+  s.profile = NetProfile::kSyncCrisp;
+  s.n = 4;
+  s.ts = 1;
+  s.ta = 0;
+  s.delta = 1000;
+  s.sync_min = s.delta;
+  s.circuit = 0;
+  s.plans.clear();
+  s.plans[1] = {zoo::Mal::kSilent, 50, 0};
+  s.plans[2] = {zoo::Mal::kSilent, 50, 0};
+  s.sched = {};
+  s.mobile = {};
+  s.sabotage = true;
+  return s;
+}
+
+// ---- execution -------------------------------------------------------------
+
+namespace {
+
+void check_mpc(const Scenario& s, ScenarioReport& rep) {
+  Circuit cir = build_circuit(s);
+  std::vector<Fp> inputs;
+  Rng in_rng(mix64(s.run_seed ^ 0x1A9B7ULL));
+  for (int i = 0; i < s.n; ++i) inputs.push_back(Fp::random(in_rng));
+
+  MpcConfig cfg;
+  cfg.n = s.n;
+  cfg.ts = s.ts;
+  cfg.ta = s.ta;
+  cfg.mode = s.mode();
+  cfg.delta = s.delta;
+  cfg.sync_min = s.profile == NetProfile::kSyncJitter ? s.sync_min : s.delta;
+  cfg.seed = s.run_seed;
+  cfg.async_min = s.async_min;
+  cfg.async_max = s.async_max;
+  cfg.adversary = build_adversary(s);
+  cfg.max_events = kEventBudget;
+  const MpcResult res = run_mpc(cir, inputs, cfg);
+
+  const std::set<int>& corrupt = cfg.adversary->corrupt_set();
+  if (res.events >= cfg.max_events)
+    rep.violations.push_back("liveness: run did not quiesce within the event budget");
+
+  // P1: agreement & liveness — every honest party terminated, same value.
+  if (!res.all_honest_agree(corrupt))
+    rep.violations.push_back("P1 agreement: honest parties missing output or disagreeing");
+
+  // P3: CS size; synchronous network -> every honest party in CS.
+  if (static_cast<int>(res.input_cs.size()) < s.n - s.ts)
+    rep.violations.push_back("P3 core-set: |CS|=" + std::to_string(res.input_cs.size()) +
+                             " < n-ts=" + std::to_string(s.n - s.ts));
+  if (s.mode() == NetMode::kSynchronous && !s.sabotage) {
+    for (int i = 0; i < s.n; ++i) {
+      if (corrupt.count(i)) continue;
+      if (std::find(res.input_cs.begin(), res.input_cs.end(), i) == res.input_cs.end())
+        rep.violations.push_back("P3 core-set: honest P" + std::to_string(i) +
+                                 " missing from CS in a synchronous run");
+    }
+  }
+
+  // P2: the common output equals f over the CS inputs (0 outside CS).
+  int honest = 0;
+  while (corrupt.count(honest)) ++honest;
+  std::ostringstream sum;
+  if (honest < s.n && res.outputs[static_cast<std::size_t>(honest)]) {
+    std::vector<Fp> eff(inputs.size(), Fp(0));
+    for (int j : res.input_cs) eff[static_cast<std::size_t>(j)] = inputs[static_cast<std::size_t>(j)];
+    const Fp want = cir.eval_plain(eff);
+    const Fp got = *res.outputs[static_cast<std::size_t>(honest)];
+    if (got != want)
+      rep.violations.push_back("P2 correctness: output " + std::to_string(got.value()) +
+                               " != f(CS inputs) " + std::to_string(want.value()));
+    sum << "out=" << got.value();
+  } else {
+    sum << "out=-";
+  }
+  sum << " cs=" << res.input_cs.size() << " end=" << res.end_time;
+  rep.summary = sum.str();
+}
+
+void check_vss(const Scenario& s, ScenarioReport& rep) {
+  NetConfig net = build_net(s);
+  net.clamp_sync_min();
+  auto adv = build_adversary(s);
+  Sim sim(s.n, net, mix64(s.run_seed ^ 0x7D55ULL), adv);
+  IdealCoin coin(mix64(s.run_seed ^ 0xC01AULL));
+  Ctx ctx = Ctx::make(s.n, s.ts, s.ta, s.delta, &coin);
+
+  const int dealer = 0;
+  const bool dealer_corrupt = adv->is_corrupt(dealer);
+  std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(s.n));
+  std::vector<std::optional<Fp>> share(static_cast<std::size_t>(s.n));
+  for (int i = 0; i < s.n; ++i) {
+    if (!sim.honest(i) && !adv->participates(i)) continue;
+    auto& slot = share[static_cast<std::size_t>(i)];
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Vss>(
+        sim.party(i), "vss", dealer, 1, ctx, 0,
+        [&slot](const std::vector<Fp>& sh) { slot = sh[0]; });
+  }
+
+  Rng deal_rng(mix64(s.run_seed ^ 0xDEA1ULL));
+  Poly q = Poly::random(s.ts, deal_rng);
+  if (inst[0]) {
+    if (dealer_corrupt) {
+      // Corrupt dealing: start from a valid symmetric bivariate embedding and
+      // tamper a random subset of rows with random degree-ts noise.
+      auto Q = SymBivariate::random_embedding(s.ts, q, deal_rng);
+      std::vector<std::vector<Poly>> rows(static_cast<std::size_t>(s.n));
+      for (int i = 0; i < s.n; ++i) {
+        rows[static_cast<std::size_t>(i)] = {Q.row(alpha(i))};
+        if (deal_rng.next_below(100) < static_cast<std::uint64_t>(s.tamper_pct)) {
+          Poly noise = Poly::random(s.ts, deal_rng);
+          rows[static_cast<std::size_t>(i)][0] = rows[static_cast<std::size_t>(i)][0] + noise;
+        }
+      }
+      std::vector<SymBivariate> Qs;
+      Qs.push_back(std::move(Q));
+      sim.party(0).at(0, [&inst, Qs = std::move(Qs), rows = std::move(rows)]() mutable {
+        inst[0]->deal_rows_custom(std::move(Qs), std::move(rows));
+      });
+    } else {
+      sim.party(0).at(0, [&inst, q] { inst[0]->deal({q}); });
+    }
+  }
+  const std::uint64_t events = sim.run(~Tick{0}, kEventBudget);
+  if (events >= kEventBudget)
+    rep.violations.push_back("liveness: run did not quiesce within the event budget");
+
+  std::vector<std::pair<Fp, Fp>> pts;
+  int honest_total = 0, honest_with_share = 0;
+  for (int i = 0; i < s.n; ++i) {
+    if (adv->is_corrupt(i)) continue;
+    ++honest_total;
+    if (share[static_cast<std::size_t>(i)]) {
+      ++honest_with_share;
+      pts.emplace_back(alpha(i), *share[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // P4 strong commitment: all-or-nothing, one degree-<=ts polynomial.
+  if (honest_with_share != 0 && honest_with_share != honest_total)
+    rep.violations.push_back("P4 commitment: " + std::to_string(honest_with_share) + "/" +
+                             std::to_string(honest_total) +
+                             " honest parties output a share (all-or-nothing broken)");
+  if (pts.size() >= 2) {
+    const std::size_t fit_k = std::min(pts.size(), static_cast<std::size_t>(s.ts) + 1);
+    std::vector<Fp> xs, ys;
+    for (std::size_t k = 0; k < fit_k; ++k) {
+      xs.push_back(pts[k].first);
+      ys.push_back(pts[k].second);
+    }
+    Poly fit = Poly::interpolate(xs, ys);
+    for (std::size_t k = fit_k; k < pts.size(); ++k)
+      if (fit.eval(pts[k].first) != pts[k].second) {
+        rep.violations.push_back("P4 commitment: honest shares not on one degree-<=ts polynomial");
+        break;
+      }
+  }
+  // Honest dealer: liveness plus correctness of every honest share.
+  if (!dealer_corrupt && inst[0]) {
+    if (honest_with_share != honest_total)
+      rep.violations.push_back("P4 honest dealer: not every honest party output a share");
+    for (const auto& [x, y] : pts)
+      if (q.eval(x) != y) {
+        rep.violations.push_back("P4 honest dealer: share off the dealt polynomial");
+        break;
+      }
+  }
+  std::ostringstream sum;
+  sum << "shares=" << honest_with_share << "/" << honest_total << " end=" << sim.now();
+  rep.summary = sum.str();
+}
+
+void check_bc(const Scenario& s, ScenarioReport& rep) {
+  NetConfig net = build_net(s);
+  net.clamp_sync_min();
+  auto adv = build_adversary(s);
+  Sim sim(s.n, net, mix64(s.run_seed ^ 0xBCBCULL), adv);
+  IdealCoin coin(mix64(s.run_seed ^ 0xC0DEULL));
+  Ctx ctx = Ctx::make(s.n, s.ts, s.ta, s.delta, &coin);
+
+  // One slot per party, sender i -> slot i, broadcast at t = 0.
+  std::vector<int> senders(static_cast<std::size_t>(s.n));
+  for (int i = 0; i < s.n; ++i) senders[static_cast<std::size_t>(i)] = i;
+  auto slot_value = [](int slot) {
+    return Bytes{static_cast<std::uint8_t>(0xA0 + (slot % 0x40)),
+                 static_cast<std::uint8_t>(slot * 7 + 1)};
+  };
+
+  std::vector<std::unique_ptr<BcBank>> inst(static_cast<std::size_t>(s.n));
+  for (int i = 0; i < s.n; ++i) {
+    if (!sim.honest(i) && !adv->participates(i)) continue;
+    inst[static_cast<std::size_t>(i)] = std::make_unique<BcBank>(
+        sim.party(i), "bc", senders, ctx, 0, [](int, const std::optional<Bytes>&, bool) {});
+    const int snd = i;
+    sim.party(i).at(0, [&inst, snd, slot_value] {
+      inst[static_cast<std::size_t>(snd)]->broadcast(snd, slot_value(snd));
+    });
+  }
+  const std::uint64_t events = sim.run(~Tick{0}, kEventBudget);
+  if (events >= kEventBudget)
+    rep.violations.push_back("liveness: run did not quiesce within the event budget");
+
+  int decided = 0;
+  for (int slot = 0; slot < s.n; ++slot) {
+    const bool sender_honest = !adv->is_corrupt(slot);
+    std::optional<Bytes> agreed;
+    bool first = true;
+    for (int p = 0; p < s.n; ++p) {
+      if (adv->is_corrupt(p) || !inst[static_cast<std::size_t>(p)]) continue;
+      auto out = inst[static_cast<std::size_t>(p)]->output(slot);
+      // Validity: an honest sender's slot always terminates with its value.
+      if (sender_honest) {
+        if (!out) {
+          rep.violations.push_back("BC validity: honest P" + std::to_string(p) +
+                                   " has no output for honest sender slot " + std::to_string(slot));
+          continue;
+        }
+        if (*out != slot_value(slot)) {
+          rep.violations.push_back("BC validity: slot " + std::to_string(slot) +
+                                   " decided a value other than its honest sender's");
+          continue;
+        }
+      }
+      if (!out) continue;
+      ++decided;
+      // Agreement: every honest decider of a slot holds the same value.
+      if (first) {
+        agreed = out;
+        first = false;
+      } else if (*agreed != *out) {
+        rep.violations.push_back("BC agreement: honest parties disagree on slot " +
+                                 std::to_string(slot));
+      }
+    }
+  }
+  std::ostringstream sum;
+  sum << "decided=" << decided << " end=" << sim.now();
+  rep.summary = sum.str();
+}
+
+}  // namespace
+
+ScenarioReport run_scenario(const Scenario& s) {
+  ScenarioReport rep;
+  switch (s.kind) {
+    case ScenarioKind::kMpc: check_mpc(s, rep); break;
+    case ScenarioKind::kVss: check_vss(s, rep); break;
+    case ScenarioKind::kBc: check_bc(s, rep); break;
+  }
+  return rep;
+}
+
+}  // namespace bobw

@@ -1,0 +1,92 @@
+// Seed-reproducible adversarial scenarios for the property fuzzer.
+//
+// One 64-bit fuzz seed deterministically expands into a fully-specified
+// adversarial run — protocol kind, network profile, (n, ts, ta), Δ and delay
+// bands, circuit shape, corrupt-set placement, per-party attack plans,
+// scheduler strategy, mobile-corruption schedule and the run RNG seed — and
+// `run_scenario` executes it and checks the paper's top-level invariants:
+//
+//   P1  agreement: all honest parties output the same value;
+//   P2  correctness: the common output equals f over the CS inputs;
+//   P3  |CS| >= n − ts; in a synchronous network every honest party ∈ CS;
+//   P4  VSS strong commitment: honest outputs (if any) lie on one
+//       degree-<=ts polynomial — all-or-nothing.
+//
+// Three scenario kinds trade scale against cost: full-MPC runs (P1–P3) at
+// small n, VSS dealings (P4, corrupt and honest dealers) at mid n, and
+// broadcast-bank runs (per-slot validity + agreement, the substrate of all
+// of the above) up to n = 32. Generated adversaries always stay inside the
+// paper's model — corrupt sets within the network's threshold, synchronous
+// scheduler delays capped at Δ — so any reported violation is a bug, not an
+// out-of-model artefact. `sabotage_scenario` deliberately breaks the budget
+// to prove the harness detects violations.
+//
+// Expansion is part of the repo's golden surface: tests/golden_trace_test
+// pins `describe()` for fixed seeds per network profile, so reordering the
+// RNG draws in expand_scenario is a breaking change (re-pin deliberately).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/adversary_zoo.hpp"
+#include "src/sim/network.hpp"
+
+namespace bobw {
+
+enum class ScenarioKind : std::uint8_t { kMpc = 0, kVss, kBc };
+
+/// The three network profiles the fuzzer samples: round-crisp synchronous
+/// (every delay exactly Δ), jittered synchronous (uniform in [min, Δ]) and
+/// asynchronous (uniform in a band that exceeds Δ).
+enum class NetProfile : std::uint8_t { kSyncCrisp = 0, kSyncJitter, kAsync };
+
+struct Scenario {
+  std::uint64_t fuzz_seed = 0;
+  ScenarioKind kind = ScenarioKind::kMpc;
+  NetProfile profile = NetProfile::kSyncCrisp;
+  int n = 4, ts = 1, ta = 0;
+  Tick delta = 1000;
+  Tick sync_min = 1000;             // kSyncJitter lower delay bound
+  Tick async_min = 1, async_max = 4000;
+  int circuit = 0;                  // kMpc shape id (see circuit_name)
+  int depth = 1;                    // mult_chain depth
+  int tamper_pct = 40;              // kVss corrupt-dealer row noise %
+  std::uint64_t run_seed = 1;
+  std::map<int, zoo::PartyPlan> plans;
+  zoo::SchedPlan sched;
+  zoo::MobilePlan mobile;
+  bool sabotage = false;            // deliberately over-budget (sanity mode)
+
+  NetMode mode() const {
+    return profile == NetProfile::kAsync ? NetMode::kAsynchronous : NetMode::kSynchronous;
+  }
+  /// Corruption budget the generator respected: ts in sync, ta in async.
+  int budget() const { return profile == NetProfile::kAsync ? ta : ts; }
+  /// One-line canonical description (golden-pinned; also the repro header).
+  std::string describe() const;
+};
+
+/// Deterministically expand one fuzz seed into a scenario. Pure function of
+/// the seed — the repro contract `--fuzz_seed=N` depends on it.
+Scenario expand_scenario(std::uint64_t fuzz_seed);
+
+/// Expansion with the corruption budget deliberately exceeded (more silent
+/// parties than the threshold allows): used to sanity-check that the
+/// invariant checker actually reports violations.
+Scenario sabotage_scenario(std::uint64_t fuzz_seed);
+
+struct ScenarioReport {
+  /// Human-readable invariant violations; empty = all checks passed.
+  std::vector<std::string> violations;
+  /// Stable one-line result digest (outputs/CS/end tick) for golden pins.
+  std::string summary;
+};
+
+/// Execute the scenario and check its kind's invariants. Deterministic:
+/// identical scenarios produce identical reports.
+ScenarioReport run_scenario(const Scenario& s);
+
+}  // namespace bobw

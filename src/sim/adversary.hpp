@@ -1,9 +1,18 @@
-// Byzantine adversary model (paper §2): a static adversary corrupting a fixed
-// subset of parties. Corrupt parties either stay silent (crash-style worst
-// case for liveness) or run the honest code while the adversary intercepts
-// and mutates their outgoing traffic (active attacks). In the asynchronous
+// Byzantine adversary model (paper §2): an adversary corrupting a subset of
+// parties. Corrupt parties either stay silent (crash-style worst case for
+// liveness) or run the honest code while the adversary intercepts and
+// mutates their outgoing traffic (active attacks). In the asynchronous
 // network the adversary additionally controls message scheduling through
 // `delay_override`.
+//
+// Mobile corruption: the corrupt *union* is fixed (threshold accounting is
+// always against the union — a static adversary can simulate any behaviour
+// of a mobile one whose union respects the budget), but which members
+// actively misbehave may rotate per epoch. Strategies that rotate override
+// `epoch_period`/`on_epoch`/`active`; the Sim consults the schedule lazily
+// from the send path, so epoch-free adversaries leave every existing event
+// trace untouched. Concrete attack strategies live in
+// src/sim/adversary_zoo.hpp.
 #pragma once
 
 #include <optional>
@@ -36,6 +45,20 @@ class Adversary {
   /// Should the corrupt party run the honest protocol code (true) or stay
   /// completely silent (false)? Active attacks subclass and mutate traffic.
   virtual bool participates(int /*party*/) const { return false; }
+
+  /// Is `party` actively misbehaving right now? Static adversaries corrupt
+  /// the same set for the whole run (the default); mobile adversaries rotate
+  /// the active window across the corrupt union and behave honestly outside
+  /// it. Only active parties have their outgoing traffic filtered.
+  virtual bool active(int party) const { return is_corrupt(party); }
+
+  /// Corruption-schedule hook. A strategy that rotates corruption returns
+  /// its epoch length here; the Sim then calls `on_epoch(now / period, now)`
+  /// from the send path whenever a message is the first of a new epoch —
+  /// lazily, with no extra queue events, so schedules never perturb the
+  /// event stream of a run.
+  virtual std::optional<Tick> epoch_period() const { return std::nullopt; }
+  virtual void on_epoch(std::uint64_t /*epoch*/, Tick /*now*/) {}
 
   /// Called for every message sent by a corrupt party that runs protocol
   /// code. Return false to drop the message; the message may be mutated.

@@ -1,0 +1,164 @@
+// The adversary zoo: reusable attack strategies against the simulated
+// network, promoted out of the per-suite test adversaries so the property
+// fuzzer (src/core/scenario.hpp) and every suite sample one shared library
+// of behaviours.
+//
+// Two orthogonal strategy groups compose here:
+//  * per-party behaviours — what a corrupt party does with its own outgoing
+//    traffic (garble, drop, equivocate, lag, stay silent);
+//  * scheduler strategies — what the adversary does with everyone's traffic
+//    through its control of message scheduling (targeted-delay starving one
+//    victim, partition-then-heal). In the synchronous network the model only
+//    permits scheduler delays up to Δ for honest senders; callers (the
+//    scenario generator) are responsible for sampling legal parameters.
+//
+// `ZooAdversary` is the composite the fuzzer drives: one plan per corrupt
+// party, an optional scheduler strategy, and an optional mobile-corruption
+// schedule that rotates the actively-misbehaving window across the corrupt
+// union per epoch (threshold accounting stays against the union — see
+// src/sim/adversary.hpp).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/sim/adversary.hpp"
+
+namespace bobw::zoo {
+
+/// Flips one random byte in `percent`% of outgoing messages.
+class ByteGarbler : public Adversary {
+ public:
+  explicit ByteGarbler(int percent) : percent_(percent) {}
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng& rng) override;
+
+ private:
+  int percent_;
+};
+
+/// Drops `percent`% of outgoing messages (selective silence).
+class SelectiveDropper : public Adversary {
+ public:
+  explicit SelectiveDropper(int percent) : percent_(percent) {}
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg&, Rng& rng) override;
+
+ private:
+  int percent_;
+};
+
+/// Sends different payloads to different recipients (generic equivocation):
+/// flips the low bit of the first byte for even-numbered recipients.
+class Equivocator : public Adversary {
+ public:
+  bool participates(int) const override { return true; }
+  bool filter_outgoing(Msg& m, Rng&) override;
+};
+
+/// Maximal delay on every message from corrupt parties (slow-but-not-silent;
+/// indistinguishable from honest-but-slow in the async model).
+class Laggard : public Adversary {
+ public:
+  explicit Laggard(Tick lag) : lag_(lag) {}
+  bool participates(int) const override { return true; }
+  std::optional<Tick> delay_override(const Msg& m) override;
+
+ private:
+  Tick lag_;
+};
+
+/// Targeted-delay scheduler: starves one victim party by pinning every
+/// message addressed to it at `lag`. With lag = Δ this is the worst *legal*
+/// synchronous schedule (starve the victim to the Δ boundary); larger lags
+/// model the asynchronous scheduler (or a sync network whose bound fails for
+/// one party — the fallback-path trigger). Works with an empty corrupt set:
+/// scheduling alone is adversarial power in the paper's model.
+class TargetedDelay : public Adversary {
+ public:
+  TargetedDelay(int victim, Tick lag) : victim_(victim), lag_(lag) {}
+  std::optional<Tick> delay_override(const Msg& m) override;
+
+ private:
+  int victim_;
+  Tick lag_;
+};
+
+/// Partition-then-heal scheduler: messages crossing the partition before the
+/// heal tick are held and delivered at `heal_at` (+1 tick per the queue's
+/// strictly-later rule when already due); traffic inside either side flows
+/// normally, and after the heal the network is whole again. Only legal in
+/// the asynchronous model (a synchronous adversary may not hold honest
+/// traffic past Δ).
+class PartitionHeal : public Adversary {
+ public:
+  /// `side_of[i]` ∈ {0, 1}: which side party i is on.
+  PartitionHeal(std::vector<std::uint8_t> side_of, Tick heal_at)
+      : side_of_(std::move(side_of)), heal_at_(heal_at) {}
+  std::optional<Tick> delay_override(const Msg& m) override;
+
+ private:
+  std::vector<std::uint8_t> side_of_;
+  Tick heal_at_;
+};
+
+// ---- the fuzzer's composite ------------------------------------------------
+
+/// What a corrupt party does with its own traffic while active.
+enum class Mal : std::uint8_t {
+  kSilent = 0,   // never runs protocol code (crash at t = 0)
+  kPassive,      // runs honest code unmodified
+  kGarble,       // flips a random byte in percent% of messages
+  kDrop,         // drops percent% of messages
+  kEquivocate,   // first-byte flip towards even-numbered recipients
+  kLag,          // every message delayed by `lag`
+};
+
+struct PartyPlan {
+  Mal kind = Mal::kSilent;
+  int percent = 50;  // kGarble / kDrop probability
+  Tick lag = 0;      // kLag delay
+};
+
+/// Scheduler-level strategy (applies to all traffic, honest included).
+struct SchedPlan {
+  int victim = -1;      // targeted-delay victim (-1: none)
+  Tick victim_lag = 0;  // delay for traffic addressed to the victim
+  std::vector<std::uint8_t> side_of;  // non-empty: partition side per party
+  Tick heal_at = 0;                   // partition heal tick
+};
+
+/// Mobile-corruption schedule: every `period` ticks the window of actively
+/// misbehaving parties rotates across the corrupt union (sorted order).
+/// period = 0 disables rotation (static corruption).
+struct MobilePlan {
+  Tick period = 0;
+  int window = 0;
+};
+
+/// One adversary combining per-party plans, a scheduler strategy and an
+/// optional mobile schedule. The corrupt union is exactly the plan keys;
+/// parties with a kSilent plan never run code (silence cannot rotate — a
+/// party that never registered instances cannot start participating
+/// mid-run), every other plan participates and misbehaves only while
+/// active.
+class ZooAdversary : public Adversary {
+ public:
+  ZooAdversary(std::map<int, PartyPlan> plans, SchedPlan sched = {}, MobilePlan mobile = {});
+
+  bool participates(int party) const override;
+  bool active(int party) const override;
+  std::optional<Tick> epoch_period() const override;
+  void on_epoch(std::uint64_t epoch, Tick now) override;
+  bool filter_outgoing(Msg& m, Rng& rng) override;
+  std::optional<Tick> delay_override(const Msg& m) override;
+
+ private:
+  std::map<int, PartyPlan> plans_;
+  SchedPlan sched_;
+  MobilePlan mobile_;
+  std::vector<int> rotation_;  // non-silent union members, sorted
+  std::vector<char> active_;   // per-party active flag for the current epoch
+};
+
+}  // namespace bobw::zoo

@@ -99,8 +99,19 @@ Sim::Sim(int n, NetConfig net, std::uint64_t seed, std::shared_ptr<Adversary> ad
 bool Sim::honest(int i) const { return !adversary_ || !adversary_->is_corrupt(i); }
 
 void Sim::post(Msg m) {
-  if (adversary_ && adversary_->is_corrupt(m.from)) {
-    if (!adversary_->filter_outgoing(m, rng_)) return;
+  if (adversary_) {
+    // Mobile corruption: advance the adversary's epoch lazily from the send
+    // path (corruption only ever manifests through traffic, so this is the
+    // earliest point a schedule change can matter; no queue events means
+    // epoch-free adversaries keep bit-identical traces).
+    if (auto period = adversary_->epoch_period()) {
+      const std::uint64_t epoch = queue_.now() / *period;
+      if (!adv_epoch_ || *adv_epoch_ != epoch) {
+        adv_epoch_ = epoch;
+        adversary_->on_epoch(epoch, queue_.now());
+      }
+    }
+    if (adversary_->active(m.from) && !adversary_->filter_outgoing(m, rng_)) return;
   }
   metrics_.record_send(m, honest(m.from), routes_.label_of(m.route));
   Tick delay = delay_.delay_for(m);

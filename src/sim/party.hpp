@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -116,6 +117,9 @@ class Sim {
   Metrics metrics_;
   Rng rng_;
   std::shared_ptr<Adversary> adversary_;
+  /// Last epoch the adversary's corruption schedule was consulted for
+  /// (mobile corruption; nullopt until the first post of a scheduled run).
+  std::optional<std::uint64_t> adv_epoch_;
   std::vector<std::unique_ptr<Party>> parties_;
 };
 

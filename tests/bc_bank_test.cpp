@@ -17,6 +17,7 @@
 #include "bench/legacy_bcgrid.hpp"
 #include "src/bcast/bc.hpp"
 #include "src/bcast/bc_bank.hpp"
+#include "src/sim/adversary_zoo.hpp"
 #include "tests/harness.hpp"
 
 namespace bobw {
@@ -583,6 +584,59 @@ TEST(BcBank, K1WrapperMatchesPerPairBcExactly) {
 
     expect_identical(brec, grec, n, 1, late ? "k1 late" : "k1");
   }
+}
+
+// ---- zoo schedulers: exact equality under adversarial scheduling ----------
+//
+// The differential needs identical *schedules* in both planes, not
+// model-legal ones: the zoo schedulers' delay_override is a pure function of
+// (from, to, sent_at) with no RNG draws, so in the round-crisp synchronous
+// network even a schedule the synchronous model forbids (starving one victim
+// past Δ, holding cross-partition traffic for several Δ) must leave the bank
+// and the frozen per-pair grid tick-for-tick identical — including any
+// fallback switches the skew provokes. Protocol guarantees are NOT asserted
+// here; only plane equivalence.
+
+void run_zoo_differential(std::shared_ptr<Adversary> bank_adv,
+                          std::shared_ptr<Adversary> grid_adv, const char* tag) {
+  const int n = 4, ts = 1, K = n * n;
+  auto senders = grid_senders(n);
+
+  auto wb = make_world(n, ts, 0, NetMode::kSynchronous, std::move(bank_adv));
+  BankRun bank(wb, senders, 0);
+  for (int i = 0; i < n; ++i)
+    wb.party(i).at(0, [&bank, i, n] {
+      for (int j = 0; j < n; ++j)
+        bank.inst[static_cast<std::size_t>(i)]->broadcast(i * n + j, slot_value(i * n + j));
+    });
+  wb.sim->run();
+  bank.capture_finals(wb, K);
+
+  auto wg = make_world(n, ts, 0, NetMode::kSynchronous, std::move(grid_adv));
+  GridRun grid(wg, senders, 0);
+  for (int i = 0; i < n; ++i)
+    wg.party(i).at(0, [&grid, i, n] {
+      for (int j = 0; j < n; ++j)
+        grid.inst[static_cast<std::size_t>(i)][static_cast<std::size_t>(i * n + j)]->broadcast(
+            slot_value(i * n + j));
+    });
+  wg.sim->run();
+  grid.capture_finals(wg, K);
+
+  expect_identical(bank.rec, grid.rec, n, K, tag);
+}
+
+TEST(BcBank, TargetedDelayExactlyMatchesPerPairGrid) {
+  // Victim starved at 3Δ — every message to P2 lands two rounds late.
+  run_zoo_differential(std::make_shared<zoo::TargetedDelay>(2, 3000),
+                       std::make_shared<zoo::TargetedDelay>(2, 3000), "targeted-delay");
+}
+
+TEST(BcBank, PartitionThenHealExactlyMatchesPerPairGrid) {
+  // {0,1} | {2,3} for the first 6Δ, then whole again.
+  const std::vector<std::uint8_t> sides{0, 0, 1, 1};
+  run_zoo_differential(std::make_shared<zoo::PartitionHeal>(sides, 6000),
+                       std::make_shared<zoo::PartitionHeal>(sides, 6000), "partition-heal");
 }
 
 }  // namespace

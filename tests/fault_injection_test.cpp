@@ -6,6 +6,7 @@
 #include "src/bcast/bc_bank.hpp"
 #include "src/core/runner.hpp"
 #include "src/mpc/cir_eval.hpp"
+#include "src/sim/adversary_zoo.hpp"
 #include "src/vss/wire.hpp"
 #include "tests/harness.hpp"
 
@@ -35,26 +36,14 @@ void expect_invariants(std::shared_ptr<Adversary> adv, NetMode mode, std::uint64
   EXPECT_EQ(*res.outputs[static_cast<std::size_t>(honest)], cir.eval_plain(eff)) << "seed " << seed;
 }
 
-/// Flips random bytes in a fraction of all outgoing messages.
-class ByteGarbler : public Adversary {
- public:
-  explicit ByteGarbler(int percent) : percent_(percent) {}
-  bool participates(int) const override { return true; }
-  bool filter_outgoing(Msg& m, Rng& rng) override {
-    if (!m.body.empty() && static_cast<int>(rng.next_below(100)) < percent_) {
-      m.body.mutable_bytes()[rng.next_below(m.body.size())] ^=
-          static_cast<std::uint8_t>(1 + rng.next_below(255));
-    }
-    return true;
-  }
-
- private:
-  int percent_;
-};
+// The generic attack strategies (garble/drop/equivocate/lag/targeted-delay)
+// live in src/sim/adversary_zoo.hpp — shared with the scenario fuzzer; this
+// suite drives them against the full MPC stack and keeps only the
+// protocol-aware adversaries (ReadyLiar, NokSpammer) local.
 
 TEST(FaultInjection, RandomByteGarblingSync) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    auto adv = std::make_shared<ByteGarbler>(50);
+    auto adv = std::make_shared<zoo::ByteGarbler>(50);
     adv->corrupt(2);
     expect_invariants(adv, NetMode::kSynchronous, seed);
   }
@@ -62,95 +51,41 @@ TEST(FaultInjection, RandomByteGarblingSync) {
 
 TEST(FaultInjection, RandomByteGarblingAsync) {
   for (std::uint64_t seed = 1; seed <= 2; ++seed) {
-    auto adv = std::make_shared<ByteGarbler>(50);
+    auto adv = std::make_shared<zoo::ByteGarbler>(50);
     adv->corrupt(1);
     expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
   }
 }
 
-/// Drops a fraction of outgoing messages (selective silence).
-class SelectiveDropper : public Adversary {
- public:
-  explicit SelectiveDropper(int percent) : percent_(percent) {}
-  bool participates(int) const override { return true; }
-  bool filter_outgoing(Msg&, Rng& rng) override {
-    return static_cast<int>(rng.next_below(100)) >= percent_;
-  }
-
- private:
-  int percent_;
-};
-
 TEST(FaultInjection, SelectiveMessageDropping) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    auto adv = std::make_shared<SelectiveDropper>(60);
+    auto adv = std::make_shared<zoo::SelectiveDropper>(60);
     adv->corrupt(3);
     expect_invariants(adv, NetMode::kSynchronous, seed);
   }
 }
 
-/// Sends different payloads to different recipients (generic equivocation):
-/// adds the recipient id into the first byte.
-class Equivocator : public Adversary {
- public:
-  bool participates(int) const override { return true; }
-  bool filter_outgoing(Msg& m, Rng&) override {
-    if (!m.body.empty() && m.to % 2 == 0) m.body.mutable_bytes()[0] ^= 0x01;
-    return true;
-  }
-};
-
 TEST(FaultInjection, GenericEquivocation) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    auto adv = std::make_shared<Equivocator>();
+    auto adv = std::make_shared<zoo::Equivocator>();
     adv->corrupt(0);  // the lowest id takes many dealer/king/sender roles
     expect_invariants(adv, NetMode::kSynchronous, seed);
   }
 }
 
-/// Maximal delay on every message from corrupt parties (slow-but-not-silent;
-/// indistinguishable from honest-but-slow in the async model).
-class Laggard : public Adversary {
- public:
-  explicit Laggard(Tick lag) : lag_(lag) {}
-  bool participates(int) const override { return true; }
-  std::optional<Tick> delay_override(const Msg& m) override {
-    if (is_corrupt(m.from)) return lag_;
-    return std::nullopt;
-  }
-
- private:
-  Tick lag_;
-};
-
 TEST(FaultInjection, LaggardPartyAsync) {
   for (std::uint64_t seed = 1; seed <= 2; ++seed) {
-    auto adv = std::make_shared<Laggard>(50'000);
+    auto adv = std::make_shared<zoo::Laggard>(50'000);
     adv->corrupt(2);
     expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
   }
 }
 
-/// Targeted network scheduler: delays all traffic *to* one honest victim in
-/// the asynchronous network (the adversary owns the scheduler, paper §2).
-class VictimScheduler : public Adversary {
- public:
-  explicit VictimScheduler(int victim, Tick lag) : victim_(victim), lag_(lag) {}
-  std::optional<Tick> delay_override(const Msg& m) override {
-    if (m.to == victim_) return lag_;
-    return std::nullopt;
-  }
-
- private:
-  int victim_;
-  Tick lag_;
-};
-
 TEST(FaultInjection, StarvedHonestVictimAsync) {
   // No corrupt party at all — only adversarial scheduling. Everybody (the
   // victim included) must still terminate with the right output.
   for (std::uint64_t seed = 1; seed <= 2; ++seed) {
-    auto adv = std::make_shared<VictimScheduler>(1, 30'000);
+    auto adv = std::make_shared<zoo::TargetedDelay>(1, 30'000);
     expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
   }
 }
@@ -207,6 +142,35 @@ TEST(FaultInjection, NokSpammerCannotBreakSharing) {
     auto adv = std::make_shared<NokSpammer>();
     adv->corrupt(2);
     expect_invariants(adv, NetMode::kSynchronous, seed);
+  }
+}
+
+// ---- composite zoo strategies against the full stack ----------------------
+
+TEST(FaultInjection, PartitionThenHealAsync) {
+  // Split {0,1,2} | {3,4} for the first 8Δ, then heal. Asynchronous model:
+  // the scheduler may hold honest traffic arbitrarily (but finitely) long.
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    zoo::SchedPlan sched;
+    sched.side_of = {0, 0, 0, 1, 1};
+    sched.heal_at = 8000;
+    auto adv = std::make_shared<zoo::ZooAdversary>(
+        std::map<int, zoo::PartyPlan>{{1, {zoo::Mal::kGarble, 30, 0}}}, sched);
+    expect_invariants(adv, NetMode::kAsynchronous, seed, 5, 1, 1);
+  }
+}
+
+TEST(FaultInjection, MobileCorruptionRotatesWithinBudget) {
+  // Corrupt union {2, 3}, one actively-misbehaving party per Δ-epoch.
+  // Threshold accounting is against the union (a static adversary can
+  // simulate any union-bounded mobile one), so the run uses n = 7, ts = 2:
+  // the union fills the budget while the active window rotates inside it.
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto adv = std::make_shared<zoo::ZooAdversary>(
+        std::map<int, zoo::PartyPlan>{{2, {zoo::Mal::kGarble, 50, 0}},
+                                      {3, {zoo::Mal::kDrop, 40, 0}}},
+        zoo::SchedPlan{}, zoo::MobilePlan{1000, 1});
+    expect_invariants(adv, NetMode::kSynchronous, seed, 7, 2, 0);
   }
 }
 

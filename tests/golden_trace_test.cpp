@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "src/core/runner.hpp"
+#include "src/core/scenario.hpp"
 #include "src/sim/instance.hpp"
 #include "tests/harness.hpp"
 
@@ -277,6 +278,51 @@ TEST(DeltaClamp, ValidateStillRejectsExplicitlyInvertedRanges) {
   EXPECT_THROW(bad.validate(), std::invalid_argument);
   bad.sync_min_delay = 100;
   EXPECT_NO_THROW(bad.validate());
+}
+
+// ---- fuzz-scenario pins: one fixed seed per network profile ---------------
+//
+// The scenario fuzzer's seed->scenario expansion and the runs it drives are
+// part of the golden surface: `fuzz_test --fuzz_seed=N` repro lines must
+// keep meaning the same run across refactors. One cheap seed per NetProfile
+// pins the expanded description AND the run's result digest. If expansion
+// draw order changes deliberately, re-pin here (and expect every archived
+// repro seed to change meaning).
+
+struct FuzzGolden {
+  std::uint64_t seed;
+  const char* describe;
+  const char* summary;
+};
+
+TEST(GoldenFuzzScenarios, OnePinnedSeedPerNetProfile) {
+  const FuzzGolden pins[] = {
+      // kSyncCrisp: broadcast bank at n = 12 with a silent corrupt party.
+      {9,
+       "fuzz_seed=9 kind=bc net=sync-crisp n=12 ts=2 ta=1 delta=1000 "
+       "corrupt={2:silent} run_seed=6088031660477001152",
+       "decided=121 end=12000"},
+      // kSyncJitter: VSS at n = 7 with a garbling corrupt party — jittered
+      // delivery inside [771, 1000] exercises sub-round arrival order.
+      {16,
+       "fuzz_seed=16 kind=vss net=sync-jitter n=7 ts=1 ta=0 delta=1000 "
+       "sync_min=771 tamper=25% corrupt={2:garble@50} "
+       "run_seed=6110061170797593481",
+       "shares=6/6 end=78000"},
+      // kAsync: VSS at n = 4 under partition-then-heal scheduling.
+      {23,
+       "fuzz_seed=23 kind=vss net=async n=4 ts=1 ta=0 delta=250 "
+       "band=[1,2000] tamper=40% corrupt={} sched=partition:1011@heal1000 "
+       "run_seed=173430206393098806",
+       "shares=4/4 end=22976"},
+  };
+  for (const auto& pin : pins) {
+    const Scenario s = expand_scenario(pin.seed);
+    EXPECT_EQ(s.describe(), pin.describe) << "seed " << pin.seed;
+    const ScenarioReport rep = run_scenario(s);
+    EXPECT_TRUE(rep.violations.empty()) << "seed " << pin.seed;
+    EXPECT_EQ(rep.summary, pin.summary) << "seed " << pin.seed;
+  }
 }
 
 }  // namespace

@@ -16,17 +16,43 @@
 namespace bobw {
 namespace {
 
+/// Where the crash faults sit: the invariants may not depend on which ids
+/// are corrupt, so the sweep pins all three placements — the historical
+/// high-id prefix, the low-id prefix (party 0, the dealer id in every VSS
+/// instance, corrupt) and a seed-derived scattered set.
+enum class Place { kHigh, kLow, kRandom };
+
+std::set<int> make_corrupt(int n, int count, Place place, std::uint64_t seed) {
+  std::set<int> out;
+  switch (place) {
+    case Place::kHigh:
+      for (int k = 0; k < count; ++k) out.insert(n - 1 - k);
+      break;
+    case Place::kLow:
+      for (int k = 0; k < count; ++k) out.insert(k);
+      break;
+    case Place::kRandom: {
+      Rng g(mix64(seed ^ (static_cast<std::uint64_t>(n) << 32)));
+      while (static_cast<int>(out.size()) < count)
+        out.insert(static_cast<int>(g.next_below(static_cast<std::uint64_t>(n))));
+      break;
+    }
+  }
+  return out;
+}
+
 struct McpCase {
   int n, ts, ta;
   NetMode mode;
-  int corrupt;  // number of crash faults (prefix of highest ids)
+  int corrupt;  // number of crash faults
+  Place place = Place::kHigh;
 };
 
 class MpcSweep : public ::testing::TestWithParam<McpCase> {};
 
 TEST_P(MpcSweep, EndToEndInvariants) {
   const auto& c = GetParam();
-  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     Circuit cir = circuits::pairwise_sums_product(c.n);
     std::vector<Fp> inputs;
     Rng rng(seed * 100 + static_cast<std::uint64_t>(c.n));
@@ -37,7 +63,7 @@ TEST_P(MpcSweep, EndToEndInvariants) {
     cfg.ta = c.ta;
     cfg.mode = c.mode;
     cfg.seed = seed;
-    for (int k = 0; k < c.corrupt; ++k) cfg.corrupt.insert(c.n - 1 - k);
+    cfg.corrupt = make_corrupt(c.n, c.corrupt, c.place, seed);
     auto res = run_mpc(cir, inputs, cfg);
 
     // P1: agreement & liveness.
@@ -69,13 +95,18 @@ INSTANTIATE_TEST_SUITE_P(
         // n=4 corner: ts=1, ta=0 (the minimum viable configuration).
         McpCase{4, 1, 0, NetMode::kSynchronous, 0},
         McpCase{4, 1, 0, NetMode::kSynchronous, 1},
+        McpCase{4, 1, 0, NetMode::kSynchronous, 1, Place::kLow},
         McpCase{4, 1, 0, NetMode::kAsynchronous, 0},
         // n=5: ts=1, ta=1 — a genuine BoBW configuration.
         McpCase{5, 1, 1, NetMode::kSynchronous, 1},
+        McpCase{5, 1, 1, NetMode::kSynchronous, 1, Place::kLow},
         McpCase{5, 1, 1, NetMode::kAsynchronous, 1},
+        McpCase{5, 1, 1, NetMode::kAsynchronous, 1, Place::kLow},
         // n=6: slack between thresholds.
         McpCase{6, 1, 1, NetMode::kSynchronous, 1},
-        McpCase{6, 1, 1, NetMode::kAsynchronous, 1}));
+        McpCase{6, 1, 1, NetMode::kSynchronous, 1, Place::kRandom},
+        McpCase{6, 1, 1, NetMode::kAsynchronous, 1},
+        McpCase{6, 1, 1, NetMode::kAsynchronous, 1, Place::kRandom}));
 
 // ---- P4: VSS commitment property under randomized corrupt dealing --------
 
@@ -132,7 +163,7 @@ TEST_P(VssCommitmentSweep, RandomBadDealingsCommitToOnePolynomial) {
 
 INSTANTIATE_TEST_SUITE_P(Modes, VssCommitmentSweep,
                          ::testing::Combine(::testing::Values(0, 1),
-                                            ::testing::Values(100, 200)));
+                                            ::testing::Values(100, 200, 300)));
 
 // ---- Determinism: identical runs bit-for-bit -----------------------------
 
