@@ -46,6 +46,7 @@ MpcResult run_mpc(const Circuit& cir, const std::vector<Fp>& inputs, const MpcCo
   net.clamp_sync_min();
 
   Sim sim(cfg.n, net, cfg.seed, adv);
+  sim.set_threads(cfg.threads, cfg.min_batch);
   IdealCoin coin(mix64(cfg.seed ^ 0xBEEF));
   Ctx ctx = Ctx::make(cfg.n, cfg.ts, cfg.ta, cfg.delta, &coin);
 
@@ -69,6 +70,7 @@ MpcResult run_mpc(const Circuit& cir, const std::vector<Fp>& inputs, const MpcCo
   }
 
   res.events = sim.run(~Tick{0}, cfg.max_events);
+  res.truncated = sim.truncated();
   res.end_time = sim.now();
   res.honest_bits = sim.metrics().honest_bits();
   res.honest_msgs = sim.metrics().honest_msgs();

@@ -39,6 +39,14 @@ struct MpcConfig {
   Tick async_min = 1, async_max = 4000;
   /// Hard stop (0 = none): simulation aborts after this many events.
   std::uint64_t max_events = 200'000'000ULL;
+  /// Shard each Δ-window's parties across this many OS threads (see
+  /// src/sim/executor.hpp). Traces stay bit-identical at any value;
+  /// asynchronous mode ignores it (sequential fallback). 1 = sequential.
+  int threads = 1;
+  /// Executor tuning: smallest due-delivery window worth sharding
+  /// (0 = library default). Tests and benches lower it to force the
+  /// parallel path onto small-n runs.
+  std::size_t min_batch = 0;
 
   /// Validate n > 3ts + ta, ta <= ts; throws std::invalid_argument.
   void validate() const;
@@ -57,6 +65,10 @@ struct MpcResult {
   std::uint64_t honest_msgs = 0;
   std::uint64_t events = 0;
   Tick end_time = 0;
+  /// True iff the run hit max_events (or a time horizon) with events still
+  /// pending — the results above are a partial prefix, not a protocol
+  /// outcome. Callers MUST check this before trusting outputs.
+  bool truncated = false;
 
   /// True iff every honest party terminated with the same output.
   bool all_honest_agree(const std::set<int>& corrupt) const;

@@ -147,7 +147,7 @@ Scenario expand_scenario(std::uint64_t fuzz_seed) {
   // the broadcast bank carries the n = 32 coverage).
   switch (s.kind) {
     case ScenarioKind::kMpc:
-      s.n = pick(g, std::vector<int>{4, 4, 4, 4, 5, 5, 5, 6, 6, 7});
+      s.n = pick(g, std::vector<int>{4, 4, 4, 4, 5, 5, 6, 6, 7, 8});
       break;
     case ScenarioKind::kVss:
       s.n = pick(g, std::vector<int>{4, 5, 5, 6, 7, 7, 8, 10, 10, 13});
@@ -242,7 +242,7 @@ Scenario sabotage_scenario(std::uint64_t fuzz_seed) {
 
 namespace {
 
-void check_mpc(const Scenario& s, ScenarioReport& rep) {
+void check_mpc(const Scenario& s, ScenarioReport& rep, int threads, std::size_t min_batch) {
   Circuit cir = build_circuit(s);
   std::vector<Fp> inputs;
   Rng in_rng(mix64(s.run_seed ^ 0x1A9B7ULL));
@@ -260,11 +260,13 @@ void check_mpc(const Scenario& s, ScenarioReport& rep) {
   cfg.async_max = s.async_max;
   cfg.adversary = build_adversary(s);
   cfg.max_events = kEventBudget;
+  cfg.threads = threads;
+  cfg.min_batch = min_batch;
   const MpcResult res = run_mpc(cir, inputs, cfg);
 
   const std::set<int>& corrupt = cfg.adversary->corrupt_set();
-  if (res.events >= cfg.max_events)
-    rep.violations.push_back("liveness: run did not quiesce within the event budget");
+  if (res.truncated)
+    rep.violations.push_back("liveness: run truncated before quiescing (event budget)");
 
   // P1: agreement & liveness — every honest party terminated, same value.
   if (!res.all_honest_agree(corrupt))
@@ -303,11 +305,12 @@ void check_mpc(const Scenario& s, ScenarioReport& rep) {
   rep.summary = sum.str();
 }
 
-void check_vss(const Scenario& s, ScenarioReport& rep) {
+void check_vss(const Scenario& s, ScenarioReport& rep, int threads, std::size_t min_batch) {
   NetConfig net = build_net(s);
   net.clamp_sync_min();
   auto adv = build_adversary(s);
   Sim sim(s.n, net, mix64(s.run_seed ^ 0x7D55ULL), adv);
+  sim.set_threads(threads, min_batch);
   IdealCoin coin(mix64(s.run_seed ^ 0xC01AULL));
   Ctx ctx = Ctx::make(s.n, s.ts, s.ta, s.delta, &coin);
 
@@ -347,9 +350,9 @@ void check_vss(const Scenario& s, ScenarioReport& rep) {
       sim.party(0).at(0, [&inst, q] { inst[0]->deal({q}); });
     }
   }
-  const std::uint64_t events = sim.run(~Tick{0}, kEventBudget);
-  if (events >= kEventBudget)
-    rep.violations.push_back("liveness: run did not quiesce within the event budget");
+  sim.run(~Tick{0}, kEventBudget);
+  if (sim.truncated())
+    rep.violations.push_back("liveness: run truncated before quiescing (event budget)");
 
   std::vector<std::pair<Fp, Fp>> pts;
   int honest_total = 0, honest_with_share = 0;
@@ -396,11 +399,12 @@ void check_vss(const Scenario& s, ScenarioReport& rep) {
   rep.summary = sum.str();
 }
 
-void check_bc(const Scenario& s, ScenarioReport& rep) {
+void check_bc(const Scenario& s, ScenarioReport& rep, int threads, std::size_t min_batch) {
   NetConfig net = build_net(s);
   net.clamp_sync_min();
   auto adv = build_adversary(s);
   Sim sim(s.n, net, mix64(s.run_seed ^ 0xBCBCULL), adv);
+  sim.set_threads(threads, min_batch);
   IdealCoin coin(mix64(s.run_seed ^ 0xC0DEULL));
   Ctx ctx = Ctx::make(s.n, s.ts, s.ta, s.delta, &coin);
 
@@ -422,9 +426,9 @@ void check_bc(const Scenario& s, ScenarioReport& rep) {
       inst[static_cast<std::size_t>(snd)]->broadcast(snd, slot_value(snd));
     });
   }
-  const std::uint64_t events = sim.run(~Tick{0}, kEventBudget);
-  if (events >= kEventBudget)
-    rep.violations.push_back("liveness: run did not quiesce within the event budget");
+  sim.run(~Tick{0}, kEventBudget);
+  if (sim.truncated())
+    rep.violations.push_back("liveness: run truncated before quiescing (event budget)");
 
   int decided = 0;
   for (int slot = 0; slot < s.n; ++slot) {
@@ -466,12 +470,12 @@ void check_bc(const Scenario& s, ScenarioReport& rep) {
 
 }  // namespace
 
-ScenarioReport run_scenario(const Scenario& s) {
+ScenarioReport run_scenario(const Scenario& s, int threads, std::size_t min_batch) {
   ScenarioReport rep;
   switch (s.kind) {
-    case ScenarioKind::kMpc: check_mpc(s, rep); break;
-    case ScenarioKind::kVss: check_vss(s, rep); break;
-    case ScenarioKind::kBc: check_bc(s, rep); break;
+    case ScenarioKind::kMpc: check_mpc(s, rep, threads, min_batch); break;
+    case ScenarioKind::kVss: check_vss(s, rep, threads, min_batch); break;
+    case ScenarioKind::kBc: check_bc(s, rep, threads, min_batch); break;
   }
   return rep;
 }

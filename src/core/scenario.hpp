@@ -86,7 +86,8 @@ struct ScenarioReport {
 };
 
 /// Execute the scenario and check its kind's invariants. Deterministic:
-/// identical scenarios produce identical reports.
-ScenarioReport run_scenario(const Scenario& s);
+/// identical scenarios produce identical reports, at any `threads` value
+/// (the window executor pins bit-identical traces; see src/sim/executor.hpp).
+ScenarioReport run_scenario(const Scenario& s, int threads = 1, std::size_t min_batch = 0);
 
 }  // namespace bobw

@@ -52,6 +52,7 @@ PointSet::PointSet(std::vector<Fp> xs) : xs_(std::move(xs)) {
 }
 
 const std::vector<Fp>& PointSet::weights_at(Fp at) const {
+  std::lock_guard<std::mutex> lk(weight_mu_);
   auto it = weight_cache_.find(at.value());
   if (it != weight_cache_.end()) return it->second;
   const std::size_t k = xs_.size();
@@ -100,9 +101,11 @@ std::shared_ptr<const PointSet> pointset(const std::vector<Fp>& xs) {
   // the α's plus the extraction grids), but an adversarial caller could pump
   // arbitrarily many keys through here — evict wholesale past a bound.
   // shared_ptr keeps evicted sets alive for holders.
+  static std::mutex mu;
   static std::map<std::vector<std::uint64_t>, std::shared_ptr<const PointSet>> cache;
   constexpr std::size_t kMaxEntries = 1 << 12;
   std::vector<std::uint64_t> key = to_words(xs);
+  std::lock_guard<std::mutex> lk(mu);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
   auto ps = std::make_shared<const PointSet>(xs);

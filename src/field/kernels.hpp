@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -43,12 +44,43 @@ class PointSet {
  public:
   explicit PointSet(std::vector<Fp> xs);
 
+  // Copy/move transfer the math and the memo table but not the mutex (a
+  // mutex member otherwise deletes both; OecBank keeps PointSets in
+  // std::optional). Only ever invoked from single-threaded construction
+  // sites — concurrent access applies to a settled PointSet.
+  PointSet(const PointSet& o)
+      : xs_(o.xs_), bary_(o.bary_), master_(o.master_), weight_cache_(o.weight_cache_) {}
+  PointSet(PointSet&& o) noexcept
+      : xs_(std::move(o.xs_)),
+        bary_(std::move(o.bary_)),
+        master_(std::move(o.master_)),
+        weight_cache_(std::move(o.weight_cache_)) {}
+  PointSet& operator=(const PointSet& o) {
+    if (this != &o) {
+      xs_ = o.xs_;
+      bary_ = o.bary_;
+      master_ = o.master_;
+      weight_cache_ = o.weight_cache_;
+    }
+    return *this;
+  }
+  PointSet& operator=(PointSet&& o) noexcept {
+    xs_ = std::move(o.xs_);
+    bary_ = std::move(o.bary_);
+    master_ = std::move(o.master_);
+    weight_cache_ = std::move(o.weight_cache_);
+    return *this;
+  }
+
   const std::vector<Fp>& xs() const { return xs_; }
   std::size_t size() const { return xs_.size(); }
 
   /// Lagrange weights w_j such that q(at) = sum_j w_j q(xs_j) for every
   /// polynomial q with deg q < size(). Memoised per `at` (the protocol asks
   /// for the same handful of points — 0, the α/β grid — over and over).
+  /// Thread-safe: PointSets are shared process-wide via pointset() and the
+  /// window executor evaluates parties concurrently, so the memo table is
+  /// mutex-guarded (returned references stay valid — node-based map).
   const std::vector<Fp>& weights_at(Fp at) const;
 
   /// The unique degree-<(k) polynomial through (xs_j, ys_j).
@@ -61,6 +93,7 @@ class PointSet {
   std::vector<Fp> xs_;
   std::vector<Fp> bary_;    // bary_j = 1 / prod_{m != j} (xs_j - xs_m)
   std::vector<Fp> master_;  // N(x) = prod_j (x - xs_j), low degree first
+  mutable std::mutex weight_mu_;
   mutable std::unordered_map<std::uint64_t, std::vector<Fp>> weight_cache_;
 };
 
@@ -69,8 +102,8 @@ class PointSet {
 /// and every simulated party — shares one precomputation per (xs) set.
 /// Callers that outlive a single expression must hold the returned
 /// shared_ptr (the cache evicts wholesale when it grows past a bound).
-/// Deterministic pure math; not thread-safe (the simulator is
-/// single-threaded).
+/// Deterministic pure math; thread-safe (the window executor evaluates
+/// parties concurrently).
 std::shared_ptr<const PointSet> pointset(const std::vector<Fp>& xs);
 
 /// Rows of powers for the online Berlekamp–Welch system: row k holds

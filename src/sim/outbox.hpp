@@ -1,0 +1,77 @@
+// Thread-confined per-party outbox for the window executor's execute phase.
+//
+// While a party runs its slice of a Δ-window on a worker thread, every side
+// effect that would touch shared simulator state — Sim::post (adversary
+// consultation, delay RNG, metrics, seq assignment) and EventQueue::at — is
+// recorded here instead. The sequential merge phase then replays the actions
+// of every executed event in exactly the order the single-threaded run would
+// have produced them (see src/sim/executor.cpp), which is what keeps (tick,
+// seq) assignment — and therefore golden traces — bit-identical at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/events.hpp"
+#include "src/sim/message.hpp"
+
+namespace bobw {
+
+struct WindowCtx {
+  /// One recorded side effect, in emission order within its event.
+  struct Action {
+    enum Kind : std::uint8_t {
+      kSend,         // would have been Sim::post(msg)
+      kLocalEvent,   // closure due at the current tick (runs inside the window)
+      kFutureTimer,  // closure due at a later tick (re-enqueued at merge)
+    };
+    Kind kind;
+    EventQueue::Pri pri;  // kLocalEvent/kFutureTimer
+    Tick time;            // kFutureTimer
+    Msg msg;              // kSend
+    std::function<void()> fn;  // kFutureTimer
+  };
+  /// A same-tick spawned closure, indexed by kLocalEvent actions in spawn
+  /// order. Kept separate from Action so the execute loop can run it (and
+  /// mark it consumed) while the merge loop still sees the kLocalEvent
+  /// record to assign its seq.
+  struct Spawned {
+    EventQueue::Pri pri;
+    std::function<void()> fn;
+  };
+
+  Tick tick = 0;
+  std::vector<Action> actions;
+  /// Number of actions emitted by each executed event, in the party's local
+  /// execution order. The merge phase's per-party cursor walks this to know
+  /// how many actions to replay per consumed event.
+  std::vector<std::uint32_t> action_count;
+  std::vector<Spawned> spawned;
+
+  void record_send(Msg m) {
+    actions.push_back(Action{Action::kSend, EventQueue::kDelivery, 0,
+                             std::move(m), {}});
+  }
+  /// Timer from Party::at — same-tick requests become window-local spawned
+  /// events (mirroring EventQueue::at's past-clamp), later ones are deferred
+  /// to the merge so their seq is assigned in canonical order.
+  void record_timer(Tick time, EventQueue::Pri pri, std::function<void()> fn) {
+    if (time <= tick) {
+      actions.push_back(Action{Action::kLocalEvent, pri, tick, Msg{}, {}});
+      spawned.push_back(Spawned{pri, std::move(fn)});
+    } else {
+      actions.push_back(Action{Action::kFutureTimer, pri, time, Msg{}, std::move(fn)});
+    }
+  }
+
+  void clear() {
+    actions.clear();
+    action_count.clear();
+    spawned.clear();
+  }
+};
+
+}  // namespace bobw

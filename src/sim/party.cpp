@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "src/sim/executor.hpp"
 #include "src/sim/instance.hpp"
+#include "src/sim/outbox.hpp"
 
 namespace bobw {
 
@@ -15,9 +17,14 @@ int Party::n() const { return sim_->n(); }
 Tick Party::now() const { return sim_->now(); }
 
 void Party::at(Tick time, std::function<void()> fn) {
-  sim_->queue().at(time, [this, f = std::move(fn)]() {
+  auto wrapped = [this, f = std::move(fn)]() {
     if (!halted_) f();
-  });
+  };
+  if (win_ != nullptr) {
+    win_->record_timer(time, EventQueue::kTimer, std::move(wrapped));
+    return;
+  }
+  sim_->queue().at(time, EventQueue::kTimer, id_, std::move(wrapped));
 }
 
 void Party::send(int to, RouteId route, int type, Payload body) {
@@ -29,6 +36,10 @@ void Party::send(int to, RouteId route, int type, Payload body) {
   m.type = type;
   m.body = std::move(body);
   m.sent_at = now();
+  if (win_ != nullptr) {
+    win_->record_send(std::move(m));
+    return;
+  }
   sim_->post(std::move(m));
 }
 
@@ -58,12 +69,16 @@ void Party::register_instance(Instance* inst) {
     // "delivery happens as an event" keeps ordering semantics uniform.
     auto msgs = std::move(pend->second);
     pending_.erase(pend);
-    sim_->queue().at(now(), EventQueue::kDelivery, [this, route, ms = std::move(msgs)]() {
+    auto flush = [this, route, ms = std::move(msgs)]() {
       Instance* found = route < by_route_.size() ? by_route_[route] : nullptr;
       if (!found) return;
       for (const auto& m : ms)
         if (!halted_) found->on_message(m);
-    });
+    };
+    if (win_ != nullptr)
+      win_->record_timer(now(), EventQueue::kDelivery, std::move(flush));
+    else
+      sim_->queue().at(now(), EventQueue::kDelivery, id_, std::move(flush));
   }
 }
 
@@ -123,7 +138,23 @@ void Sim::post(Msg m) {
 }
 
 std::uint64_t Sim::run(Tick max_time, std::uint64_t max_events) {
+  // The window executor's determinism argument leans on the synchronous
+  // round structure; the async profile stays on the sequential engine.
+  if (exec_ && delay_.config().mode == NetMode::kSynchronous)
+    return exec_->run(max_time, max_events);
   return queue_.run(max_time, max_events);
 }
+
+void Sim::set_threads(int threads, std::size_t min_batch) {
+  exec_.reset();
+  if (threads > 1) {
+    if (min_batch == 0) min_batch = WindowExecutor::kDefaultMinBatch;
+    exec_ = std::make_unique<WindowExecutor>(*this, threads, min_batch);
+  }
+}
+
+int Sim::threads() const { return exec_ ? exec_->threads() : 1; }
+
+Sim::~Sim() = default;
 
 }  // namespace bobw

@@ -28,6 +28,8 @@ namespace bobw {
 
 class Instance;
 class Sim;
+class WindowExecutor;
+struct WindowCtx;
 
 class Party {
  public:
@@ -70,11 +72,18 @@ class Party {
   /// the duration of the run).
   void own(std::shared_ptr<void> session) { owned_.push_back(std::move(session)); }
 
+  /// Window-executor capture hooks. While a window is active, send/at record
+  /// into the thread-confined outbox (src/sim/outbox.hpp) instead of
+  /// touching Sim/EventQueue shared state; the merge phase replays them.
+  void begin_window(WindowCtx* w) { win_ = w; }
+  void end_window() { win_ = nullptr; }
+
  private:
   Sim* sim_;
   int id_;
   bool honest_;
   bool halted_ = false;
+  WindowCtx* win_ = nullptr;
   Rng rng_;
   /// Flat dispatch table indexed by RouteId, grown lazily on registration.
   std::vector<Instance*> by_route_;
@@ -87,6 +96,7 @@ class Sim {
   /// `adversary` may be null (all parties honest). The adversary's corrupt
   /// set decides which parties are honest.
   Sim(int n, NetConfig net, std::uint64_t seed, std::shared_ptr<Adversary> adversary = nullptr);
+  ~Sim();
 
   int n() const { return n_; }
   Party& party(int i) { return *parties_[static_cast<std::size_t>(i)]; }
@@ -106,10 +116,30 @@ class Sim {
   /// Run the simulation. Returns number of events executed.
   std::uint64_t run(Tick max_time = ~Tick{0}, std::uint64_t max_events = 200'000'000ULL);
 
+  /// True iff the last run() stopped on max_events/max_time with events
+  /// still pending — a truncated run, NOT quiescence. Results from a
+  /// truncated run are partial and must not be read as protocol outcomes.
+  bool truncated() const { return queue_.truncated(); }
+
+  /// Shard each Δ-window's parties across `threads` OS threads (synchronous
+  /// mode only; the async profile stays on the sequential engine). Traces
+  /// stay bit-identical at any thread count; `threads <= 1` restores the
+  /// plain sequential path. `min_batch` is the smallest due-delivery count
+  /// worth sharding (tests lower it to force every window parallel).
+  void set_threads(int threads, std::size_t min_batch = 0);
+  int threads() const;
+
   /// True if party i is honest under the configured adversary.
   bool honest(int i) const;
 
  private:
+  friend class WindowExecutor;
+  /// Executor-only: hand a delivery straight to its destination party
+  /// (bypasses the queue — the executor already owns the ordering).
+  void deliver_now(const Msg& m) {
+    parties_[static_cast<std::size_t>(m.to)]->deliver(m);
+  }
+
   int n_;
   EventQueue queue_;
   RouteTable routes_;
@@ -121,6 +151,7 @@ class Sim {
   /// (mobile corruption; nullopt until the first post of a scheduled run).
   std::optional<std::uint64_t> adv_epoch_;
   std::vector<std::unique_ptr<Party>> parties_;
+  std::unique_ptr<WindowExecutor> exec_;  // non-null iff threads > 1
 };
 
 }  // namespace bobw

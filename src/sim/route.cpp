@@ -3,6 +3,7 @@
 namespace bobw {
 
 RouteId RouteTable::intern(const std::string& id) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = ids_.find(id);
   if (it != ids_.end()) return it->second;
   const RouteId r = static_cast<RouteId>(names_.size());

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,7 +27,14 @@ inline constexpr RouteId kNoRoute = 0xFFFFFFFFu;
 class RouteTable {
  public:
   /// Intern `id`, returning its existing RouteId if already known. The
-  /// top-level label is interned alongside on first sight.
+  /// top-level label is interned alongside on first sight. Safe to call
+  /// from the window executor's worker threads (instances register during
+  /// the execute phase); the mutex serialises concurrent interns.
+  ///
+  /// The read accessors below stay lock-free: they are only called from
+  /// sequential phases (Sim::post in the merge, metrics materialisation,
+  /// adversary name lookups), and the executor's pool barrier orders every
+  /// execute-phase write before them.
   RouteId intern(const std::string& id);
 
   const std::string& name(RouteId r) const { return names_[r]; }
@@ -37,6 +45,7 @@ class RouteTable {
   std::size_t label_count() const { return label_names_.size(); }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, RouteId> ids_;
   std::vector<std::string> names_;
   std::vector<LabelId> route_label_;

@@ -10,6 +10,11 @@
 //   --fuzz_seed=N           run the single scenario N, print its report, exit
 //   --fuzz_master=N         first seed of the block (default 20260808)
 //   --fuzz_count=K          block size (default 1000)
+//   --fuzz_jobs=J           run scenarios on J worker threads (default 1).
+//                           Scenarios are self-contained sims, so sharding is
+//                           embarrassingly parallel; reports are replayed on
+//                           the main thread in seed order, so the FAIL/REPRO
+//                           output and the verdict are identical at any J.
 //   --fuzz_failures_file=P  append failing seeds to P, one per line
 //
 // FuzzSanity covers the harness itself: a deliberately over-budget adversary
@@ -17,13 +22,16 @@
 // one-line repro contract — a fuzzer that cannot see planted violations is
 // vacuous.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -35,6 +43,7 @@ namespace {
 
 std::uint64_t g_master = 20260808;
 std::uint64_t g_count = 1000;
+std::uint64_t g_jobs = 1;
 std::string g_failures_file;
 
 struct Coverage {
@@ -74,15 +83,60 @@ ScenarioReport run_one(std::uint64_t seed, bool sabotage) {
 TEST(FuzzDriver, Block) {
   std::vector<std::uint64_t> failing;
   Coverage cov;
-  for (std::uint64_t i = 0; i < g_count; ++i) {
-    const std::uint64_t seed = g_master + i;
-    cov.tally(expand_scenario(seed));
-    if (!run_one(seed, /*sabotage=*/false).violations.empty()) failing.push_back(seed);
-    if ((i + 1) % 100 == 0) {
-      std::printf("fuzz: %llu/%llu scenarios, %zu failing\n",
-                  static_cast<unsigned long long>(i + 1),
-                  static_cast<unsigned long long>(g_count), failing.size());
+  const std::uint64_t jobs = std::max<std::uint64_t>(1, g_jobs);
+  if (jobs == 1) {
+    for (std::uint64_t i = 0; i < g_count; ++i) {
+      const std::uint64_t seed = g_master + i;
+      cov.tally(expand_scenario(seed));
+      if (!run_one(seed, /*sabotage=*/false).violations.empty()) failing.push_back(seed);
+      if ((i + 1) % 100 == 0) {
+        std::printf("fuzz: %llu/%llu scenarios, %zu failing\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(g_count), failing.size());
+        std::fflush(stdout);
+      }
+    }
+  } else {
+    // Sharded mode: every scenario is a self-contained Sim, so workers claim
+    // seeds from an atomic cursor and drop reports into per-seed slots. The
+    // main thread then replays the slots IN SEED ORDER — the FAIL/REPRO
+    // lines, the failing list and the verdict are byte-identical to jobs=1.
+    std::vector<ScenarioReport> slots(static_cast<std::size_t>(g_count));
+    std::atomic<std::uint64_t> next{0}, done{0};
+    std::mutex print_mu;
+    auto worker = [&] {
+      for (;;) {
+        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= g_count) return;
+        slots[static_cast<std::size_t>(i)] =
+            run_scenario(expand_scenario(g_master + i));
+        const std::uint64_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (d % 100 == 0) {
+          std::lock_guard<std::mutex> lk(print_mu);
+          std::printf("fuzz: %llu/%llu scenarios (%llu jobs)\n",
+                      static_cast<unsigned long long>(d),
+                      static_cast<unsigned long long>(g_count),
+                      static_cast<unsigned long long>(jobs));
+          std::fflush(stdout);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    for (std::uint64_t j = 1; j < jobs; ++j) pool.emplace_back(worker);
+    worker();
+    for (auto& t : pool) t.join();
+    for (std::uint64_t i = 0; i < g_count; ++i) {
+      const std::uint64_t seed = g_master + i;
+      const Scenario s = expand_scenario(seed);
+      cov.tally(s);
+      const ScenarioReport& rep = slots[static_cast<std::size_t>(i)];
+      if (rep.violations.empty()) continue;
+      std::printf("FAIL %s\n", s.describe().c_str());
+      for (const auto& v : rep.violations) std::printf("  violation: %s\n", v.c_str());
+      std::printf("REPRO: fuzz_test --fuzz_seed=%llu\n",
+                  static_cast<unsigned long long>(seed));
       std::fflush(stdout);
+      failing.push_back(seed);
     }
   }
   if (!failing.empty() && !g_failures_file.empty()) {
@@ -154,6 +208,7 @@ int main(int argc, char** argv) {
     if (bobw::parse_u64(argv[i], "--fuzz_seed", &v)) single = v;
     else if (bobw::parse_u64(argv[i], "--fuzz_master", &v)) bobw::g_master = v;
     else if (bobw::parse_u64(argv[i], "--fuzz_count", &v)) bobw::g_count = v;
+    else if (bobw::parse_u64(argv[i], "--fuzz_jobs", &v)) bobw::g_jobs = v;
     else if (std::strncmp(argv[i], "--fuzz_failures_file=", 21) == 0)
       bobw::g_failures_file = argv[i] + 21;
   }

@@ -46,25 +46,36 @@ struct Golden {
 };
 
 void expect_golden(const Golden& g) {
-  std::vector<Fp> inputs;
-  for (int i = 0; i < g.cfg.n; ++i) inputs.push_back(Fp(static_cast<std::uint64_t>(3 * i + 2)));
-  auto res = run_mpc(g.cir, inputs, g.cfg);
-  for (int i = 0; i < g.cfg.n; ++i) {
-    const auto& out = res.outputs[static_cast<std::size_t>(i)];
-    const auto& want = g.outputs[static_cast<std::size_t>(i)];
-    ASSERT_EQ(out.has_value(), want.has_value()) << g.tag << " party " << i;
-    if (want) {
-      EXPECT_EQ(out->value(), *want) << g.tag << " party " << i;
+  // Every pin must hold at every thread count: the window executor's whole
+  // contract is a bit-identical trace (min_batch=1 forces the parallel path
+  // onto these small-n runs; async configs exercise the sequential
+  // fallback). threads=1 is the plain sequential engine.
+  for (const int threads : {1, 2, 8}) {
+    MpcConfig cfg = g.cfg;
+    cfg.threads = threads;
+    cfg.min_batch = 1;
+    std::vector<Fp> inputs;
+    for (int i = 0; i < cfg.n; ++i) inputs.push_back(Fp(static_cast<std::uint64_t>(3 * i + 2)));
+    auto res = run_mpc(g.cir, inputs, cfg);
+    for (int i = 0; i < cfg.n; ++i) {
+      const auto& out = res.outputs[static_cast<std::size_t>(i)];
+      const auto& want = g.outputs[static_cast<std::size_t>(i)];
+      ASSERT_EQ(out.has_value(), want.has_value())
+          << g.tag << " party " << i << " threads " << threads;
+      if (want) {
+        EXPECT_EQ(out->value(), *want) << g.tag << " party " << i << " threads " << threads;
+      }
+      EXPECT_EQ(res.finish_time[static_cast<std::size_t>(i)],
+                g.finish_time[static_cast<std::size_t>(i)])
+          << g.tag << " party " << i << " threads " << threads;
     }
-    EXPECT_EQ(res.finish_time[static_cast<std::size_t>(i)],
-              g.finish_time[static_cast<std::size_t>(i)])
-        << g.tag << " party " << i;
+    EXPECT_EQ(res.input_cs, g.input_cs) << g.tag << " threads " << threads;
+    EXPECT_EQ(res.honest_bits, g.honest_bits) << g.tag << " threads " << threads;
+    EXPECT_EQ(res.honest_msgs, g.honest_msgs) << g.tag << " threads " << threads;
+    EXPECT_EQ(res.events, g.events) << g.tag << " threads " << threads;
+    EXPECT_EQ(res.end_time, g.end_time) << g.tag << " threads " << threads;
+    EXPECT_FALSE(res.truncated) << g.tag << " threads " << threads;
   }
-  EXPECT_EQ(res.input_cs, g.input_cs) << g.tag;
-  EXPECT_EQ(res.honest_bits, g.honest_bits) << g.tag;
-  EXPECT_EQ(res.honest_msgs, g.honest_msgs) << g.tag;
-  EXPECT_EQ(res.events, g.events) << g.tag;
-  EXPECT_EQ(res.end_time, g.end_time) << g.tag;
 }
 
 TEST(GoldenTrace, SumAllN4SyncSeed1) {
@@ -323,6 +334,130 @@ TEST(GoldenFuzzScenarios, OnePinnedSeedPerNetProfile) {
     EXPECT_TRUE(rep.violations.empty()) << "seed " << pin.seed;
     EXPECT_EQ(rep.summary, pin.summary) << "seed " << pin.seed;
   }
+}
+
+// ---- parallel window executor: determinism matrix -------------------------
+//
+// threads ∈ {1, 2, 8} × {sync-crisp, sync-jitter, async} × fixed fuzz seeds:
+// the sharded executor must reproduce the sequential pins bit-for-bit
+// (min_batch=1 forces every delivery-bearing window onto the parallel path;
+// the async profile pins the sequential fallback under a threads knob).
+// The MpcConfig-level matrix lives in expect_golden above, which re-runs
+// every golden trace at threads ∈ {1, 2, 8}.
+
+TEST(ParallelDeterminism, FuzzScenarioPinsHoldAtEveryThreadCount) {
+  const FuzzGolden pins[] = {
+      {9, "", "decided=121 end=12000"},            // bc, sync-crisp, n=12
+      {16, "", "shares=6/6 end=78000"},            // vss, sync-jitter, n=7
+      {23, "", "shares=4/4 end=22976"},            // vss, async (fallback)
+  };
+  for (const auto& pin : pins) {
+    const Scenario s = expand_scenario(pin.seed);
+    for (const int threads : {1, 2, 8}) {
+      const ScenarioReport rep = run_scenario(s, threads, /*min_batch=*/1);
+      EXPECT_TRUE(rep.violations.empty()) << "seed " << pin.seed << " threads " << threads;
+      EXPECT_EQ(rep.summary, pin.summary) << "seed " << pin.seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SyncJitterMpcBitIdenticalAcrossThreadCounts) {
+  // Jittered synchronous delivery (sub-round arrival order, per-message RNG
+  // draws) is the hardest case for the merge phase: every delay draw must
+  // land in the canonical position. Compare full results field-by-field.
+  auto run = [](int threads) {
+    MpcConfig c;
+    c.n = 5;
+    c.ts = 1;
+    c.ta = 0;
+    c.seed = 21;
+    c.sync_min = 300;  // uniform delays in [300, 1000]
+    c.threads = threads;
+    c.min_batch = 1;
+    return run_mpc(circuits::sum_of_squares(5), {Fp(1), Fp(2), Fp(3), Fp(4), Fp(5)}, c);
+  };
+  const MpcResult base = run(1);
+  ASSERT_TRUE(base.all_honest_agree({}));
+  for (const int threads : {2, 8}) {
+    const MpcResult res = run(threads);
+    for (std::size_t i = 0; i < base.outputs.size(); ++i) {
+      ASSERT_EQ(res.outputs[i].has_value(), base.outputs[i].has_value()) << threads;
+      if (base.outputs[i]) EXPECT_EQ(res.outputs[i]->value(), base.outputs[i]->value()) << threads;
+    }
+    EXPECT_EQ(res.finish_time, base.finish_time) << threads;
+    EXPECT_EQ(res.input_cs, base.input_cs) << threads;
+    EXPECT_EQ(res.honest_bits, base.honest_bits) << threads;
+    EXPECT_EQ(res.honest_msgs, base.honest_msgs) << threads;
+    EXPECT_EQ(res.events, base.events) << threads;
+    EXPECT_EQ(res.end_time, base.end_time) << threads;
+  }
+}
+
+// ---- payload COW across executor threads ----------------------------------
+
+/// Receives a send_all fan-out whose Payload is shared across all n
+/// recipients, and mutates a private copy from inside the handler — i.e.
+/// concurrent COW detaches against one shared buffer when the window
+/// executor runs recipients on different threads.
+class CowStressInst : public Instance {
+ public:
+  CowStressInst(Party& p, std::string id, int me) : Instance(p, std::move(id)), me_(me) {}
+  void on_message(const Msg& m) override {
+    original = m.body.bytes();  // concurrent const read of the shared buffer
+    Msg local = m;              // refcount bump (atomic control block)
+    local.body.mutable_bytes()[0] = static_cast<std::uint8_t>(me_);  // detach
+    mutated = local.body.bytes();
+  }
+  int me_;
+  Bytes original, mutated;
+};
+
+TEST(ParallelDeterminism, CrossThreadCowDetachKeepsSiblingsPristine) {
+  auto w = make_world(8, 2, 0, NetMode::kSynchronous);
+  w.sim->set_threads(8, /*min_batch=*/1);
+  std::vector<std::unique_ptr<CowStressInst>> inst;
+  for (int i = 0; i < 8; ++i)
+    inst.push_back(std::make_unique<CowStressInst>(w.party(i), "cow", i));
+  w.party(3).at(0, [&w] { w.party(3).send_all("cow", 0, Bytes{0x42, 0x07, 0x99}); });
+  w.sim->run();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->original, (Bytes{0x42, 0x07, 0x99})) << i;
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->mutated,
+              (Bytes{static_cast<std::uint8_t>(i), 0x07, 0x99}))
+        << i;
+  }
+}
+
+// ---- truncation flag ------------------------------------------------------
+
+TEST(Truncation, BudgetStopIsFlaggedNotSilent) {
+  // A run stopped by max_events must be distinguishable from quiescence —
+  // at every thread count, and with the same event count.
+  for (const int threads : {1, 2, 8}) {
+    MpcConfig cfg;
+    cfg.n = 4;
+    cfg.ts = 1;
+    cfg.ta = 0;
+    cfg.seed = 1;
+    cfg.max_events = 5000;  // far below the ~93k the run needs
+    cfg.threads = threads;
+    cfg.min_batch = 1;
+    auto res = run_mpc(circuits::sum_all(4), {Fp(2), Fp(5), Fp(8), Fp(11)}, cfg);
+    EXPECT_TRUE(res.truncated) << threads;
+    EXPECT_EQ(res.events, 5000u) << threads;  // stops on exactly the budget
+    EXPECT_FALSE(res.outputs[0].has_value()) << threads;
+  }
+}
+
+TEST(Truncation, QuiescentRunIsNotFlagged) {
+  MpcConfig cfg;
+  cfg.n = 4;
+  cfg.ts = 1;
+  cfg.ta = 0;
+  cfg.seed = 1;
+  auto res = run_mpc(circuits::sum_all(4), {Fp(2), Fp(5), Fp(8), Fp(11)}, cfg);
+  EXPECT_FALSE(res.truncated);
+  EXPECT_TRUE(res.all_honest_agree({}));
 }
 
 }  // namespace

@@ -231,6 +231,13 @@ TEST(AbaLocalCoin, SafetyHoldsWithPrivateCoins) {
       sim.party(i).at(0, [I, b] { I->start(b); });
     }
     sim.run(~Tick{0}, 5'000'000ULL);
+    // The event budget is a deliberate liveness bound: Ben-Or private coins
+    // may never produce agreement at this adversarial split, so hitting the
+    // cap (sim.truncated()) is a tolerated outcome here — NOT silent: we
+    // acknowledge it explicitly and still require safety on the prefix.
+    if (sim.truncated()) {
+      ASSERT_EQ(sim.metrics().honest_msgs() > 0, true) << "seed " << seed;
+    }
     std::optional<bool> agreed;
     for (int i = 0; i < 4; ++i) {
       if (!dec[static_cast<std::size_t>(i)]) continue;
