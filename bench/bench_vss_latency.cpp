@@ -9,6 +9,8 @@
 #include <memory>
 
 #include "bench/bench_util.hpp"
+#include "bench/legacy_vssbank.hpp"
+#include "src/bcast/bc_bank.hpp"
 #include "src/vss/vss.hpp"
 
 using namespace bobw;
@@ -50,6 +52,97 @@ Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed, int L
     s.last = std::max(s.last, *t[static_cast<std::size_t>(i)]);
   }
   return s;
+}
+
+/// One full ΠVSS sharing at production scale, with the executor thread count
+/// and phase-king schedule under test. Also reports the mega-bank shape: how
+/// many shared ok-verdict Acast states one sharing registered (the
+/// per-child wiring would pay n+1) and the decode-cache hit rate.
+struct BigSample {
+  double wall_ms = 0;
+  int outputs = 0;
+  int ok_banks = 0;
+  double decode_hit_rate = 0;
+};
+
+BigSample run_vss_big(int n, BgpMode bgp, int threads, std::uint64_t seed) {
+  const int ts = (n - 1) / 3;
+  auto w = bench::make_world(n, ts, 0, NetMode::kSynchronous, nullptr, seed);
+  w.ctx = Ctx::make(n, ts, 0, 1000, w.coin.get(), bgp);
+  w.sim->set_threads(threads);
+  std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(n));
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    auto& flag = done[static_cast<std::size_t>(i)];
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Vss>(
+        w.party(i), "vss", 0, 1, w.ctx, 0, [&flag](const std::vector<Fp>&) { flag = 1; });
+  }
+  Rng rng(seed);
+  Poly q = Poly::random(ts, rng);
+  w.party(0).at(0, [&] { inst[0]->deal({q}); });
+  const auto t0 = std::chrono::steady_clock::now();
+  w.sim->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  BigSample s;
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (char f : done) s.outputs += f;
+  for (const auto& k : w.sim->shared_state_keys())
+    if (k.rfind("acast|", 0) == 0 && k.find("/ok/") != std::string::npos) ++s.ok_banks;
+  const auto& cs = w.sim->decode_cache_stats();
+  const double hits = static_cast<double>(cs.hits.load());
+  const double misses = static_cast<double>(cs.misses.load());
+  s.decode_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0;
+  return s;
+}
+
+/// Transport-only same-binary comparison: one sharing's complete ok-verdict
+/// traffic — n child grids at B+3Δ plus the dealer grid at B+Δ+T_WPS, n²
+/// slots each — through the mega-bank (one Acast window, two SBA schedules)
+/// vs the frozen per-child wiring (n+1 of each). Identical verdict bytes,
+/// identical Ctx; the quotient is the mega-bank's transport win.
+double run_ok_transport(int n, bool mega, std::uint64_t seed) {
+  const int ts = (n - 1) / 3;
+  auto w = bench::make_world(n, ts, 0, NetMode::kSynchronous, nullptr, seed);
+  const Tick child_start = 3 * w.ctx.delta;
+  const Tick dealer_start = w.ctx.delta + w.ctx.T.t_wps;
+  std::vector<int> grid(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) grid[static_cast<std::size_t>(i * n + j)] = i;
+  std::vector<std::unique_ptr<BcBank>> megas(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<legacyvss::OkBanks>> legacy(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (mega) {
+      std::vector<BcBank::Group> groups;
+      groups.reserve(static_cast<std::size_t>(n) + 1);
+      for (int g = 0; g <= n; ++g)
+        groups.push_back({grid, g < n ? child_start : dealer_start, nullptr});
+      megas[static_cast<std::size_t>(i)] =
+          std::make_unique<BcBank>(w.party(i), "vss", std::move(groups), w.ctx);
+    } else {
+      legacy[static_cast<std::size_t>(i)] =
+          std::make_unique<legacyvss::OkBanks>(w.party(i), "vss", w.ctx, 0, nullptr);
+    }
+  }
+  const Bytes ok{0x01};  // all verdicts identical, the common honest case
+  for (int i = 0; i < n; ++i) {
+    auto bcast = [&, i](int g, int s) {
+      if (mega)
+        megas[static_cast<std::size_t>(i)]->broadcast(g, s, ok);
+      else
+        legacy[static_cast<std::size_t>(i)]->broadcast(g, s, ok);
+    };
+    w.party(i).at(child_start, [bcast, i, n] {
+      for (int g = 0; g < n; ++g)
+        for (int j = 0; j < n; ++j) bcast(g, i * n + j);
+    });
+    w.party(i).at(dealer_start, [bcast, i, n] {
+      for (int j = 0; j < n; ++j) bcast(n, i * n + j);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  w.sim->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
@@ -102,6 +195,40 @@ int main(int argc, char** argv) {
     metrics.push_back({"vss_wall_ms_per_poly_n7" + suffix, s.wall_ms / L});
   }
   bench::rule();
+
+  // Production scale: one n = 64 sharing on the mega-bank. Committee-mode
+  // phase-king (⌈log₂(t+2)⌉ = 5 phases instead of t+1 = 22) is the headline
+  // configuration — the single-digit-seconds target; the linear run shows
+  // the schedule cost it removes. Thread count 1 keeps the cache-rate
+  // metric deterministic.
+  std::printf("\nn = 64 sharing (sync, honest dealer) — the VSS mega-bank\n");
+  bench::rule();
+  std::printf("%10s | %10s | %8s | %9s | %10s\n", "phase-king", "wall ms", "outputs",
+              "ok banks", "cache hit");
+  bench::rule();
+  const BigSample committee = run_vss_big(64, BgpMode::kCommittee, 1, 5);
+  const BigSample linear = run_vss_big(64, BgpMode::kLinear, 1, 5);
+  std::printf("%10s | %10.0f | %8d | %9d | %9.1f%%\n", "committee", committee.wall_ms,
+              committee.outputs, committee.ok_banks, 100 * committee.decode_hit_rate);
+  std::printf("%10s | %10.0f | %8d | %9d | %9.1f%%\n", "linear", linear.wall_ms,
+              linear.outputs, linear.ok_banks, 100 * linear.decode_hit_rate);
+  bench::rule();
+  metrics.push_back({"vss_wall_ms_n64", committee.wall_ms});
+  metrics.push_back({"vss_wall_ms_n64_linear", linear.wall_ms});
+  metrics.push_back({"vss_n64_ok_banks_delta", static_cast<double>(committee.ok_banks)});
+  metrics.push_back({"vss_n64_decode_hit_rate", committee.decode_hit_rate});
+
+  // Same-binary transport quotient: the sharing's ok-verdict traffic through
+  // the frozen per-child wiring (n+1 Acast windows + n+1 SBA schedules,
+  // bench/legacy_vssbank.hpp) vs the mega-bank (1 + 2). Gated in CI with a
+  // loose absolute floor (see compare_bench.py on speedup ratios).
+  const double mega_ms = run_ok_transport(64, /*mega=*/true, 6);
+  const double legacy_ms = run_ok_transport(64, /*mega=*/false, 6);
+  const double speedup = mega_ms > 0 ? legacy_ms / mega_ms : 0;
+  std::printf("ok-verdict transport n = 64: mega %.0f ms, per-child %.0f ms — %.1fx\n",
+              mega_ms, legacy_ms, speedup);
+  metrics.push_back({"vss_n64_speedup", speedup});
+
   if (!json_path.empty()) bench::emit_json_section(json_path, "vss_latency", metrics);
   return 0;
 }

@@ -1,0 +1,82 @@
+// Frozen copy of the pre-PR 9 per-child-bank ΠVSS ok-verdict wiring — one
+// separate BcBank per child-ΠWPS ok-grid plus one for the dealer grid — kept
+// for same-binary differential tests and bench comparison against the
+// (n+1)-group VSS mega-bank (the repo's legacy_bcgrid idiom, one layer up).
+//
+// This is exactly the PR 5–8 layout of src/vss/vss.cpp + wps.cpp:
+// each child Π(j)WPS owned a standalone n²-slot BcBank for its ok-grid
+// (start B+3Δ, senders grid[i·n+j] = i) and ΠVSS owned one more for the
+// dealer grid (start B+Δ+T_WPS), so one sharing paid n+1 Acast coalescing
+// windows and n+1 SBA schedules. The mega-bank must preserve every slot's
+// ΠBC decision bit-for-bit while collapsing the transport to ONE window and
+// TWO schedules; the differential suite in tests/bc_bank_test.cpp drives
+// both wirings with identical verdict traffic and compares per-slot
+// handlers, ticks and outputs. Do not "fix" or consolidate anything here; it
+// exists to stay costly the old way.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bcast/bc_bank.hpp"
+#include "src/core/timing.hpp"
+
+namespace bobw::legacyvss {
+
+/// One party's view of one sharing's ok-verdict broadcasts, per-child-bank
+/// wiring: group j < n is child j's n²-slot grid, group n is the dealer
+/// grid. The (group, slot) surface mirrors the mega-bank's so differential
+/// drivers are interchangeable.
+class OkBanks {
+ public:
+  using Handler =
+      std::function<void(int group, int slot, const std::optional<Bytes>& value, bool fallback)>;
+
+  OkBanks(Party& party, const std::string& id, const Ctx& ctx, Tick vss_base, Handler handler)
+      : nn_(party.n()) {
+    const Tick child_start = vss_base + 3 * ctx.delta;
+    const Tick dealer_start = vss_base + ctx.delta + ctx.T.t_wps;
+    std::vector<int> grid(static_cast<std::size_t>(nn_) * static_cast<std::size_t>(nn_));
+    for (int i = 0; i < nn_; ++i)
+      for (int j = 0; j < nn_; ++j)
+        grid[static_cast<std::size_t>(i) * static_cast<std::size_t>(nn_) +
+             static_cast<std::size_t>(j)] = i;
+    banks_.reserve(static_cast<std::size_t>(nn_) + 1);
+    for (int g = 0; g <= nn_; ++g) {
+      const Tick start = g < nn_ ? child_start : dealer_start;
+      const std::string bid =
+          g < nn_ ? sub_id(sub_id(id, "wps" + std::to_string(g)), "ok") : sub_id(id, "ok");
+      banks_.push_back(std::make_unique<BcBank>(
+          party, bid, grid, ctx, start,
+          [handler, g](int slot, const std::optional<Bytes>& v, bool fb) {
+            if (handler) handler(g, slot, v, fb);
+          }));
+    }
+  }
+
+  void broadcast(int group, int slot, const Bytes& m) {
+    banks_[static_cast<std::size_t>(group)]->broadcast(slot, m);
+  }
+
+  bool regular_decided(int group, int slot) const {
+    return banks_[static_cast<std::size_t>(group)]->regular_decided(slot);
+  }
+  std::optional<Bytes> regular_output(int group, int slot) const {
+    return banks_[static_cast<std::size_t>(group)]->regular_output(slot);
+  }
+  std::optional<Bytes> output(int group, int slot) const {
+    return banks_[static_cast<std::size_t>(group)]->output(slot);
+  }
+
+  int groups() const { return nn_ + 1; }
+  int slots_per_group() const { return nn_ * nn_; }
+
+ private:
+  int nn_;
+  std::vector<std::unique_ptr<BcBank>> banks_;  // [0..n-1] children, [n] dealer
+};
+
+}  // namespace bobw::legacyvss

@@ -1,0 +1,677 @@
+#include "src/bcast/bank_shared.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "src/bcast/bc_bank.hpp"
+#include "src/common/digest.hpp"
+
+namespace bobw {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Dense intern of a value into (values, digest-bucket) tables: one hash per
+/// lookup, full-body compare only within the digest bucket.
+std::uint32_t intern_into(const Bytes& value, std::vector<Bytes>& values,
+                          std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>& buckets) {
+  auto& bucket = buckets[body_digest(value)];
+  for (std::uint32_t vid : bucket)
+    if (values[vid] == value) return vid;
+  const auto vid = static_cast<std::uint32_t>(values.size());
+  values.push_back(value);
+  bucket.push_back(vid);
+  return vid;
+}
+
+std::uint64_t vids_digest(const std::vector<std::uint32_t>& v) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint32_t x : v) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Tally {
+  std::uint32_t vid = 0;
+  int count = 0;
+};
+
+void add_tally(std::vector<Tally>& t, std::uint32_t vid) {
+  for (Tally& e : t)
+    if (e.vid == vid) {
+      ++e.count;
+      return;
+    }
+  t.push_back(Tally{vid, 1});
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- AcastShared ---
+
+std::shared_ptr<AcastShared> AcastShared::get(Party& party, const std::string& id) {
+  Sim& sim = party.sim();
+  auto p = sim.shared_state("acast|" + id, [&sim]() -> std::shared_ptr<void> {
+    return std::shared_ptr<AcastShared>(new AcastShared(sim));
+  });
+  return std::static_pointer_cast<AcastShared>(p);
+}
+
+std::uint32_t AcastShared::intern_locked(const Bytes& value) {
+  return intern_into(value, values_, vids_by_digest_);
+}
+
+std::uint32_t AcastShared::intern(const Bytes& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return intern_locked(value);
+}
+
+Bytes AcastShared::value(std::uint32_t vid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_[vid];
+}
+
+AcastShared::BatchPtr AcastShared::decode(const Payload& body) {
+  std::shared_ptr<const Bytes> buf = body.data();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_ptr_.find(buf.get());
+  if (it != by_ptr_.end()) {
+    stats_->hits.fetch_add(1, kRelaxed);
+    return it->second.batch;
+  }
+  auto& bucket = by_body_[body_digest(*buf)];
+  for (const BodyEntry& e : bucket)
+    if (*e.canonical == *buf) {
+      stats_->hits.fetch_add(1, kRelaxed);
+      by_ptr_.emplace(buf.get(), PtrEntry{buf, e.batch});
+      return e.batch;
+    }
+  stats_->misses.fetch_add(1, kRelaxed);
+  auto batch = std::make_shared<Batch>();
+  for (auto& g : bcwire::decode_acast_batch(*buf)) {
+    if (g.type > AcastBank::kReady) continue;  // Byzantine sub-type: receivers skip it
+    batch->push_back(Group{g.type, intern_locked(g.value), std::move(g.slots)});
+  }
+  BatchPtr p = std::move(batch);
+  bucket.push_back(BodyEntry{buf, p});
+  by_ptr_.emplace(buf.get(), PtrEntry{std::move(buf), p});
+  return p;
+}
+
+Payload AcastShared::canonical(Bytes&& encoded) {
+  const std::uint64_t d = body_digest(encoded);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& bucket = canon_[d];
+  for (const Payload& p : bucket)
+    if (p == encoded) return p;
+  Payload p(std::move(encoded));
+  bucket.push_back(p);
+  return p;
+}
+
+// ------------------------------------------------- AcastShared::Cohort ------
+
+namespace {
+constexpr std::uint64_t kNoFloor = ~std::uint64_t{0};
+/// Fold entries into the base state once the log grows past this many; keeps
+/// the replay window (and the branch-rebuild cost) bounded.
+constexpr std::size_t kPruneThreshold = 1024;
+}  // namespace
+
+class AcastShared::Cohort {
+ public:
+  /// Per-slot, per-value distinct-sender tally (bitmask over parties).
+  struct VoteSet {
+    std::uint32_t vid = 0;
+    int count = 0;
+    std::vector<std::uint64_t> mask;
+  };
+  struct SlotState {
+    bool echoed = false, readied = false;
+    std::uint32_t output = kNoVid;
+    std::vector<VoteSet> echoes, readies;
+  };
+  struct Effects {
+    std::vector<Send> sends;
+    std::vector<SlotOutput> outputs;
+  };
+  struct Entry {
+    int from = -1;
+    BatchPtr batch;  // byte-canonical (decode()), so identity is the match key
+    Effects fx;
+  };
+
+  Cohort(std::shared_ptr<const std::vector<int>> senders_in, int t_in, int n_in)
+      : senders(std::move(senders_in)),
+        t(t_in),
+        n(n_in),
+        tip(senders->size()),
+        base(senders->size()) {}
+
+  Entry& entry(std::uint64_t abs) { return log[static_cast<std::size_t>(abs - base_index)]; }
+  std::uint64_t end() const { return base_index + log.size(); }
+
+  int alloc_member(std::uint64_t floor) {
+    if (!free_slots.empty()) {
+      const int m = free_slots.back();
+      free_slots.pop_back();
+      floors[static_cast<std::size_t>(m)] = floor;
+      return m;
+    }
+    floors.push_back(floor);
+    return static_cast<int>(floors.size()) - 1;
+  }
+
+  /// Adds `from` to the tally of `vid`; returns the new count, or 0 if
+  /// `from` was already recorded for that value.
+  static int add_vote(std::vector<VoteSet>& sets, std::uint32_t vid, int from, int n) {
+    const std::size_t word = static_cast<std::size_t>(from) / 64;
+    const std::uint64_t bit = 1ull << (static_cast<std::size_t>(from) % 64);
+    for (VoteSet& v : sets) {
+      if (v.vid != vid) continue;
+      if (v.mask[word] & bit) return 0;
+      v.mask[word] |= bit;
+      return ++v.count;
+    }
+    VoteSet v;
+    v.vid = vid;
+    v.count = 1;
+    v.mask.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+    v.mask[word] |= bit;
+    sets.push_back(std::move(v));
+    return 1;
+  }
+
+  /// One receiver transition: exactly the per-receiver Bracha rules of the
+  /// pre-cohort AcastBank::on_message, applied to `st`. With `fx` set the
+  /// generated sends/accepts are recorded (tip compute); with `fx` null the
+  /// state is advanced silently (base fold / branch rebuild).
+  void apply(std::vector<SlotState>& st, int from, const Batch& batch, Effects* fx) const {
+    const auto K = static_cast<std::uint32_t>(st.size());
+    for (const auto& g : batch) {
+      for (std::uint32_t us : g.slots) {
+        if (us >= K) continue;
+        SlotState& slot = st[us];
+        switch (g.type) {
+          case AcastBank::kInit: {
+            if (from != (*senders)[us] || slot.echoed) break;
+            slot.echoed = true;
+            if (fx) fx->sends.push_back(Send{AcastBank::kEcho, g.vid, us});
+            break;
+          }
+          case AcastBank::kEcho: {
+            // Past readied the echo tally is never read again — skip the vote.
+            if (slot.readied) break;
+            const int c = add_vote(slot.echoes, g.vid, from, n);
+            if (!c) break;
+            // ⌈(n+t+1)/2⌉ echoes for the same value.
+            if (c >= (n + t + 2) / 2) {
+              slot.readied = true;
+              if (fx) fx->sends.push_back(Send{AcastBank::kReady, g.vid, us});
+            }
+            break;
+          }
+          case AcastBank::kReady: {
+            // Past acceptance the ready tally is never read again.
+            if (slot.output != kNoVid) break;
+            const int c = add_vote(slot.readies, g.vid, from, n);
+            if (!c) break;
+            if (c >= t + 1 && !slot.readied) {
+              slot.readied = true;
+              if (fx) fx->sends.push_back(Send{AcastBank::kReady, g.vid, us});
+            }
+            if (c >= 2 * t + 1) {
+              slot.output = g.vid;
+              if (fx) fx->outputs.push_back(SlotOutput{us, g.vid});
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  const std::shared_ptr<const std::vector<int>> senders;  // per-slot accepted sender
+  const int t, n;
+
+  std::mutex mu;
+  std::vector<SlotState> tip;   // state after all of `log`
+  std::vector<SlotState> base;  // state before log.front()
+  std::uint64_t base_index = 0;
+  std::deque<Entry> log;
+  /// Per member: its cursor's flush point (kNoFloor = slot free). Pruning
+  /// never passes the minimum, so flush_batch/branch can always re-read
+  /// their unflushed range.
+  std::vector<std::uint64_t> floors;
+  std::vector<int> free_slots;
+  /// Flush memo: encoded batch per log range — every member flushing the
+  /// same window sends the SAME Payload object.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Payload> ranges;
+};
+
+AcastShared::~AcastShared() = default;
+
+void AcastShared::configure(std::vector<int> senders, int t, int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (root_) {
+    assert(root_->senders->size() == senders.size() && root_->t == t && root_->n == n);
+    return;
+  }
+  root_ = std::make_shared<Cohort>(
+      std::make_shared<const std::vector<int>>(std::move(senders)), t, n);
+}
+
+void AcastShared::join(Cursor& c) {
+  std::shared_ptr<Cohort> root;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root = root_;
+  }
+  assert(root && "configure() must precede join()");
+  // Lock order is always cohort.mu -> mu_ (flush needs the value table), so
+  // the root pointer is copied out before taking the cohort lock.
+  std::lock_guard<std::mutex> lock(root->mu);
+  c.cohort = root;
+  c.index = c.flushed = 0;
+  c.member = root->alloc_member(0);
+}
+
+void AcastShared::branch(Cursor& c, Cohort& old) {
+  // Unflushed sends in the old log still belong to this party's next wire
+  // batch; carry them in the cursor.
+  for (std::uint64_t i = c.flushed; i < c.index; ++i)
+    for (const Send& s : old.entry(i).fx.sends) c.pending.push_back(s);
+  auto nc = std::make_shared<Cohort>(old.senders, old.t, old.n);
+  nc->tip = old.base;
+  for (std::uint64_t i = old.base_index; i < c.index; ++i) {
+    Cohort::Entry& e = old.entry(i);
+    nc->apply(nc->tip, e.from, *e.batch, nullptr);
+  }
+  nc->base = nc->tip;
+  old.floors[static_cast<std::size_t>(c.member)] = kNoFloor;
+  old.free_slots.push_back(c.member);
+  c.cohort = std::move(nc);
+  c.index = c.flushed = 0;
+  c.member = c.cohort->alloc_member(0);
+}
+
+void AcastShared::maybe_prune(Cohort& co) {
+  if (co.log.size() < kPruneThreshold) return;
+  std::uint64_t mn = kNoFloor;
+  for (std::uint64_t f : co.floors) mn = std::min(mn, f);
+  if (mn == kNoFloor) mn = co.end();
+  while (co.base_index < mn && !co.log.empty()) {
+    Cohort::Entry& e = co.log.front();
+    co.apply(co.base, e.from, *e.batch, nullptr);
+    co.log.pop_front();
+    ++co.base_index;
+  }
+  while (!co.ranges.empty() && co.ranges.begin()->first.first < co.base_index)
+    co.ranges.erase(co.ranges.begin());
+}
+
+AcastShared::StepResult AcastShared::step(Cursor& c, int from, const BatchPtr& batch) {
+  std::shared_ptr<Cohort> co = c.cohort;
+  std::unique_lock<std::mutex> lock(co->mu);
+  StepResult res;
+  if (c.index < co->end()) {
+    Cohort::Entry& e = co->entry(c.index);
+    if (e.from == from && e.batch == batch) {
+      // Replay hit: the transition was computed by an earlier cursor.
+      stats_->hits.fetch_add(1, kRelaxed);
+      res.outputs = e.fx.outputs;
+      res.queued_sends = !e.fx.sends.empty();
+      ++c.index;
+      return res;
+    }
+    // Divergent history (Byzantine sender, dropped delivery, async skew):
+    // continue on a private fork rebuilt from the shared prefix.
+    branch(c, *co);
+    lock.unlock();
+    co = c.cohort;
+    lock = std::unique_lock<std::mutex>(co->mu);
+  }
+  // At the tip: compute the transition once; every later member replays it.
+  stats_->misses.fetch_add(1, kRelaxed);
+  Cohort::Entry e;
+  e.from = from;
+  e.batch = batch;
+  co->apply(co->tip, from, *batch, &e.fx);
+  res.outputs = e.fx.outputs;
+  res.queued_sends = !e.fx.sends.empty();
+  co->log.push_back(std::move(e));
+  ++c.index;
+  maybe_prune(*co);
+  return res;
+}
+
+std::optional<Payload> AcastShared::flush_batch(Cursor& c, const std::vector<Send>& own) {
+  std::shared_ptr<Cohort> co = c.cohort;
+  std::unique_lock<std::mutex> lock(co->mu);
+  const std::pair<std::uint64_t, std::uint64_t> key{c.flushed, c.index};
+  const bool memoable = own.empty() && c.pending.empty();
+  if (memoable) {
+    if (key.first == key.second) return std::nullopt;
+    auto it = co->ranges.find(key);
+    if (it != co->ranges.end()) {
+      co->floors[static_cast<std::size_t>(c.member)] = c.flushed = c.index;
+      stats_->hits.fetch_add(1, kRelaxed);
+      return it->second;
+    }
+  }
+  // Group by (type, vid) in first-appearance order — deterministic, and K
+  // near-identical bodies (a window's worth of ok-verdict echoes) cost one
+  // value on the wire. Own INITs lead, then branch carry-over, then the
+  // shared log's sends in log order.
+  std::vector<bcwire::AcastGroup> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  auto add = [&](const Send& s) {
+    const std::uint64_t k = (static_cast<std::uint64_t>(s.type) << 32) | s.vid;
+    auto [it, fresh] = group_of.try_emplace(k, groups.size());
+    if (fresh) groups.push_back(bcwire::AcastGroup{s.type, value(s.vid), {}});
+    groups[it->second].slots.push_back(s.slot);
+  };
+  for (const Send& s : own) add(s);
+  for (const Send& s : c.pending) add(s);
+  for (std::uint64_t i = c.flushed; i < c.index; ++i)
+    for (const Send& s : co->entry(i).fx.sends) add(s);
+  c.pending.clear();
+  co->floors[static_cast<std::size_t>(c.member)] = c.flushed = c.index;
+  if (groups.empty()) return std::nullopt;
+  Payload p = canonical(bcwire::encode_acast_batch(groups));
+  if (memoable) co->ranges.emplace(key, p);
+  return p;
+}
+
+void AcastShared::mark_flushed(Cursor& c) {
+  std::shared_ptr<Cohort> co = c.cohort;
+  std::lock_guard<std::mutex> lock(co->mu);
+  c.flushed = c.index;
+  co->floors[static_cast<std::size_t>(c.member)] = c.flushed;
+}
+
+// ---------------------------------------------------------------- SbaShared ---
+
+std::shared_ptr<SbaShared> SbaShared::get(Party& party, const std::string& id, int K, int n,
+                                          int t) {
+  Sim& sim = party.sim();
+  auto p = sim.shared_state("sba|" + id, [&sim, K, n, t]() -> std::shared_ptr<void> {
+    return std::shared_ptr<SbaShared>(new SbaShared(sim, K, n, t));
+  });
+  auto shared = std::static_pointer_cast<SbaShared>(p);
+  // One logical bank <=> one id: every party must agree on its shape.
+  assert(shared->K_ == K && shared->n_ == n && shared->t_ == t);
+  return shared;
+}
+
+std::uint32_t SbaShared::intern_locked(const Bytes& value) {
+  return intern_into(value, values_, vids_by_digest_);
+}
+
+std::uint32_t SbaShared::intern(const Bytes& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return intern_locked(value);
+}
+
+Bytes SbaShared::value(std::uint32_t vid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_[vid];
+}
+
+SbaShared::VidsPtr SbaShared::canonical_vids_locked(Vids&& v) {
+  auto& bucket = vids_canon_[vids_digest(v)];
+  for (const VidsPtr& p : bucket)
+    if (*p == v) return p;
+  VidsPtr p = std::make_shared<const Vids>(std::move(v));
+  bucket.push_back(p);
+  return p;
+}
+
+SbaShared::VidsPtr SbaShared::canonical_vids(Vids&& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return canonical_vids_locked(std::move(v));
+}
+
+SbaShared::ExpandedPtr SbaShared::expand(const Payload& body) {
+  std::shared_ptr<const Bytes> buf = body.data();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_ptr_.find(buf.get());
+  if (it != by_ptr_.end()) {
+    stats_->hits.fetch_add(1, kRelaxed);
+    return it->second.exp;
+  }
+  auto& bucket = by_body_[body_digest(*buf)];
+  for (const BodyEntry& e : bucket)
+    if (*e.canonical == *buf) {
+      stats_->hits.fetch_add(1, kRelaxed);
+      by_ptr_.emplace(buf.get(), PtrEntry{buf, e.exp});
+      return e.exp;
+    }
+  stats_->misses.fetch_add(1, kRelaxed);
+  auto exp = std::make_shared<Expanded>();
+  if (auto m = bcwire::decode_sba(*buf)) {
+    exp->k = m->k;
+    constexpr std::uint32_t kUncovered = ~std::uint32_t{0};
+    Vids out(static_cast<std::size_t>(K_), kUncovered);
+    for (const auto& g : m->groups) {
+      const std::uint32_t vid = intern_locked(g.value);
+      for (std::uint32_t s : g.slots)
+        if (s < static_cast<std::uint32_t>(K_) && out[s] == kUncovered) out[s] = vid;
+    }
+    const std::uint32_t def_vid = intern_locked(m->def);
+    for (auto& vid : out)
+      if (vid == kUncovered) vid = def_vid;
+    // Canonicalize: only k differs between consecutive phases of a unanimous
+    // steady state, so the expansions (and every round-result cache key built
+    // from them) collapse to one vector across all phases.
+    exp->vids = canonical_vids_locked(std::move(out));
+  }
+  ExpandedPtr p = std::move(exp);
+  bucket.push_back(BodyEntry{buf, p});
+  by_ptr_.emplace(buf.get(), PtrEntry{std::move(buf), p});
+  return p;
+}
+
+SbaShared::VidsPtr SbaShared::round_a(const std::vector<VidsPtr>& vote1) {
+  PtrKey key;
+  key.reserve(vote1.size());
+  for (const auto& p : vote1) key.push_back(reinterpret_cast<std::uintptr_t>(p.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = round_a_.find(key);
+  if (it != round_a_.end()) {
+    stats_->hits.fetch_add(1, kRelaxed);
+    return it->second.result;
+  }
+  stats_->misses.fetch_add(1, kRelaxed);
+  std::vector<std::vector<Tally>> tallies(static_cast<std::size_t>(K_));
+  for (const auto& exp : vote1)
+    for (int s = 0; s < K_; ++s)
+      add_tally(tallies[static_cast<std::size_t>(s)], (*exp)[static_cast<std::size_t>(s)]);
+  // Per slot: a non-⊥ value with support >= n−t becomes the proposal (at most
+  // one value can reach n−t with t < n/3; the lexicographic tie-break mirrors
+  // the per-pair std::map iteration order).
+  Vids proposal(static_cast<std::size_t>(K_), 0);
+  for (int s = 0; s < K_; ++s) {
+    std::uint32_t best = 0;
+    bool found = false;
+    for (const Tally& t : tallies[static_cast<std::size_t>(s)]) {
+      if (t.vid == 0 || t.count < n_ - t_) continue;
+      if (!found || value_less(t.vid, best)) {
+        best = t.vid;
+        found = true;
+      }
+    }
+    if (found) proposal[static_cast<std::size_t>(s)] = best;
+  }
+  VidsPtr out = canonical_vids_locked(std::move(proposal));
+  ResultEntry<VidsPtr> entry;
+  entry.anchors.assign(vote1.begin(), vote1.end());
+  entry.result = out;
+  round_a_.emplace(std::move(key), std::move(entry));
+  return out;
+}
+
+std::shared_ptr<const SbaShared::BResult> SbaShared::round_b(const VidsPtr& prior,
+                                                             const std::vector<VidsPtr>& vote2) {
+  assert(prior);
+  PtrKey key;
+  key.reserve(vote2.size() + 1);
+  key.push_back(reinterpret_cast<std::uintptr_t>(prior.get()));
+  for (const auto& p : vote2) key.push_back(reinterpret_cast<std::uintptr_t>(p.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = round_b_.find(key);
+  if (it != round_b_.end()) {
+    stats_->hits.fetch_add(1, kRelaxed);
+    return it->second.result;
+  }
+  stats_->misses.fetch_add(1, kRelaxed);
+  std::vector<std::vector<Tally>> tallies(static_cast<std::size_t>(K_));
+  for (const auto& exp : vote2)
+    for (int s = 0; s < K_; ++s)
+      add_tally(tallies[static_cast<std::size_t>(s)], (*exp)[static_cast<std::size_t>(s)]);
+  auto res = std::make_shared<BResult>();
+  Vids v(static_cast<std::size_t>(K_), 0);
+  auto locked = std::make_shared<Flags>(static_cast<std::size_t>(K_), 0);
+  for (int s = 0; s < K_; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    // Most supported non-⊥ proposal; ties -> lexicographically smaller value.
+    std::uint32_t best = 0;
+    int best_c = 0;
+    for (const Tally& t : tallies[us]) {
+      if (t.vid == 0) continue;
+      if (t.count > best_c || (t.count == best_c && best_c > 0 && value_less(t.vid, best))) {
+        best = t.vid;
+        best_c = t.count;
+      }
+    }
+    (*locked)[us] = best_c >= n_ - t_ ? 1 : 0;
+    if (best_c >= t_ + 1) {
+      v[us] = best;
+    } else if (!(*locked)[us]) {
+      v[us] = 0;  // ⊥ until the king speaks
+    } else {
+      v[us] = (*prior)[us];  // unreachable with n > 3t; kept for exactness
+    }
+  }
+  res->v = canonical_vids_locked(std::move(v));
+  res->locked = std::move(locked);
+  std::shared_ptr<const BResult> out = std::move(res);
+  ResultEntry<std::shared_ptr<const BResult>> entry;
+  entry.anchors.push_back(prior);
+  entry.anchors.insert(entry.anchors.end(), vote2.begin(), vote2.end());
+  entry.result = out;
+  round_b_.emplace(std::move(key), std::move(entry));
+  return out;
+}
+
+SbaShared::VidsPtr SbaShared::round_c(const VidsPtr& v, const FlagsPtr& locked,
+                                      const std::vector<VidsPtr>& kings) {
+  assert(v && locked);
+  PtrKey key;
+  key.reserve(kings.size() + 2);
+  key.push_back(reinterpret_cast<std::uintptr_t>(v.get()));
+  key.push_back(reinterpret_cast<std::uintptr_t>(locked.get()));
+  for (const auto& p : kings) key.push_back(reinterpret_cast<std::uintptr_t>(p.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = round_c_.find(key);
+  if (it != round_c_.end()) {
+    stats_->hits.fetch_add(1, kRelaxed);
+    return it->second.result;
+  }
+  stats_->misses.fetch_add(1, kRelaxed);
+  Vids out(*v);
+  std::vector<Tally> tally;
+  for (int s = 0; s < K_; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    if ((*locked)[us]) continue;
+    // Plurality over the committee members' vectors at this slot, ties toward
+    // the lexicographically smaller value; a fully silent committee keeps v.
+    // With a singleton committee this is exactly "adopt the king if it spoke".
+    tally.clear();
+    for (const auto& kv : kings)
+      if (kv) add_tally(tally, (*kv)[us]);
+    std::uint32_t best = 0;
+    int best_c = 0;
+    for (const Tally& t : tally)
+      if (t.count > best_c || (t.count == best_c && best_c > 0 && value_less(t.vid, best))) {
+        best = t.vid;
+        best_c = t.count;
+      }
+    if (best_c > 0) out[us] = best;
+  }
+  VidsPtr res = canonical_vids_locked(std::move(out));
+  ResultEntry<VidsPtr> entry;
+  entry.anchors.push_back(v);
+  entry.anchors.push_back(locked);
+  for (const auto& p : kings)
+    if (p) entry.anchors.push_back(p);
+  entry.result = res;
+  round_c_.emplace(std::move(key), std::move(entry));
+  return res;
+}
+
+Payload SbaShared::encode(std::uint32_t k, const VidsPtr& vids) {
+  assert(vids);
+  PtrKey key{static_cast<std::uintptr_t>(k), reinterpret_cast<std::uintptr_t>(vids.get())};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = encode_.find(key);
+  if (it != encode_.end()) {
+    stats_->hits.fetch_add(1, kRelaxed);
+    return it->second.result;
+  }
+  stats_->misses.fetch_add(1, kRelaxed);
+  // Default = the most frequent value (ties -> lexicographically smaller
+  // value); the rest go out as explicit groups in first-appearance order.
+  std::unordered_map<std::uint32_t, int> freq;
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t vid : *vids) {
+    if (++freq[vid] == 1) order.push_back(vid);
+  }
+  std::uint32_t def_vid = order.empty() ? 0 : order.front();
+  for (std::uint32_t vid : order) {
+    const int c = freq[vid], best = freq[def_vid];
+    if (c > best || (c == best && value_less(vid, def_vid))) def_vid = vid;
+  }
+  bcwire::SbaMsg msg;
+  msg.k = k;
+  msg.def = values_[def_vid];
+  std::unordered_map<std::uint32_t, std::size_t> group_of;
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(K_); ++s) {
+    const std::uint32_t vid = (*vids)[s];
+    if (vid == def_vid) continue;
+    auto [git, fresh] = group_of.try_emplace(vid, msg.groups.size());
+    if (fresh) msg.groups.push_back(bcwire::SbaMsg::Group{values_[vid], {}});
+    msg.groups[git->second].slots.push_back(s);
+  }
+  Bytes encoded = bcwire::encode_sba(msg);
+  // Byte-canonicalize so identical vectors reached through distinct vid
+  // arrays still share one buffer (and the receivers' pointer cache).
+  Payload out;
+  auto& bucket = canon_[body_digest(encoded)];
+  bool found = false;
+  for (const Payload& p : bucket)
+    if (p == encoded) {
+      out = p;
+      found = true;
+      break;
+    }
+  if (!found) {
+    out = Payload(std::move(encoded));
+    bucket.push_back(out);
+  }
+  ResultEntry<Payload> entry;
+  entry.anchors.push_back(vids);
+  entry.result = out;
+  encode_.emplace(std::move(key), std::move(entry));
+  return out;
+}
+
+}  // namespace bobw

@@ -1,0 +1,297 @@
+// Cross-party shared decode state for the broadcast banks.
+//
+// Protocol instances with the same hierarchical id on different parties are
+// views of ONE logical bank, and almost everything a receiver computes from
+// a bank message is a pure function of the payload bytes: the decoded batch
+// structure, the value intern, the expansion of an SBA vector to per-slot
+// values, and — because every SBA round result is a pure function of the
+// received vote vectors (see SbaShared::round_*) — the per-round tally
+// results themselves. The simulator's payloads are COW shared buffers
+// (src/sim/message.hpp), so one send_all fan-out delivers the SAME buffer to
+// all n receivers; keying a per-Sim cache on that pointer turns the
+// per-receiver O(n²·K) tally/decode work of each SBA round into O(1) lookups
+// for every receiver after the first.
+//
+// Two cache layers per payload:
+//  * pointer layer — exact identity of the shared buffer (one fan-out);
+//  * byte layer    — distinct senders emitting identical bytes (every honest
+//    party's vote vector in a unanimous round), collapsed via digest buckets
+//    with full-body confirm.
+// Entries are never evicted and pointer keys retain their buffer, so a freed
+// buffer's address can never be recycled into a stale cache hit.
+//
+// Shared vids are NAMES, not protocol values: every decision tie-break in
+// the banks compares interned bytes, never vid order, so results are
+// independent of the cross-party (and cross-thread) intern interleaving —
+// required for the window executor's bit-identical-traces guarantee.
+//
+// All methods lock internally; window-executor worker threads reach one
+// shared object concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/codec.hpp"
+#include "src/sim/party.hpp"
+
+namespace bobw {
+
+// ---------------------------------------------------------------------------
+// AcastShared — one logical AcastBank's value intern + batch decode cache.
+// ---------------------------------------------------------------------------
+class AcastShared {
+ public:
+  /// The per-Sim instance for the logical bank `id` (the Instance id string,
+  /// identical on every party by construction).
+  static std::shared_ptr<AcastShared> get(Party& party, const std::string& id);
+
+  /// Decoded batch group: like bcwire::AcastGroup but with the value interned
+  /// (and unknown sub-types already dropped, mirroring the receiver's skip).
+  struct Group {
+    std::uint8_t type = 0;
+    std::uint32_t vid = 0;
+    std::vector<std::uint32_t> slots;
+  };
+  using Batch = std::vector<Group>;
+  using BatchPtr = std::shared_ptr<const Batch>;
+
+  std::uint32_t intern(const Bytes& value);
+  Bytes value(std::uint32_t vid) const;
+
+  /// Decoded view of a coalesced Acast batch; cached by payload identity,
+  /// then by byte content. Never null (a malformed body decodes to its
+  /// well-formed prefix, possibly empty — same rule as bcwire).
+  BatchPtr decode(const Payload& body);
+
+  /// Canonical shared payload for freshly encoded bytes: senders emitting
+  /// identical batches (every honest party's echo flush in a round-crisp
+  /// window) share ONE buffer, so all their receivers hit the pointer layer
+  /// and the Sim anchors one copy of the bytes instead of n.
+  Payload canonical(Bytes&& encoded);
+
+  // --- Shared receiver automaton (cohorts) ---------------------------------
+  //
+  // A receiver's Bracha state (per-slot echo/ready tallies and accepts) is a
+  // pure function of its ordered history of received (sender, batch) pairs,
+  // and in a crisp window every honest receiver sees the SAME history. A
+  // Cohort stores one copy of that state plus a replay log of transitions;
+  // each party holds a Cursor and steps through the log, paying O(1) per
+  // already-computed transition instead of re-tallying O(slots·n) votes. The
+  // first cursor to reach the tip computes the transition once and records
+  // its effects (sends to emit, slots accepted). A cursor whose next message
+  // differs from the recorded entry (Byzantine sender, drop, async skew)
+  // BRANCHES: a fresh cohort is rebuilt from the base state and the shared
+  // path up to that point, and the divergent party continues alone (or with
+  // whoever later matches its history).
+  //
+  // Wire batches are derived from the log: flush_batch() groups the recorded
+  // sends of [flushed, index) — identical for every member flushing the same
+  // window — and memoizes the encoded Payload per log range, so one window's
+  // echo storm is encoded once and every receiver's decode is a pointer hit.
+  //
+  // Entries behind every member's flush point are folded into the base state
+  // and dropped; vids inside effects are interleaving-dependent names and
+  // never reach the wire unencoded.
+  static constexpr std::uint32_t kNoVid = 0xFFFFFFFFu;
+
+  struct Send {
+    std::uint8_t type = 0;  // AcastBank SubType (kInit/kEcho/kReady)
+    std::uint32_t vid = 0;
+    std::uint32_t slot = 0;
+  };
+  struct SlotOutput {
+    std::uint32_t slot = 0;
+    std::uint32_t vid = 0;
+  };
+
+  class Cohort;
+
+  /// One party's position in the shared automaton.
+  struct Cursor {
+    std::shared_ptr<Cohort> cohort;
+    std::uint64_t index = 0;    // next log entry to consume (cohort-absolute)
+    std::uint64_t flushed = 0;  // first entry not yet flushed to the wire
+    int member = -1;            // slot in the cohort's floor registry
+    std::vector<Send> pending;  // unflushed sends carried across a branch
+  };
+
+  /// Fix the automaton shape once (idempotent; identical on every party by
+  /// construction). Must precede join().
+  void configure(std::vector<int> senders, int t, int n);
+
+  /// Register the cursor on the root cohort.
+  void join(Cursor& c);
+
+  struct StepResult {
+    std::vector<SlotOutput> outputs;  // slots this transition accepted
+    bool queued_sends = false;        // the transition generated wire traffic
+  };
+
+  /// Advance the cursor by one received batch (`batch` must come from
+  /// decode(), whose byte-canonical pointers make identity the match key).
+  /// Sends are NOT returned — they are derived at flush_batch() time; the
+  /// caller applies `outputs` to its per-party state and schedules a flush
+  /// iff `queued_sends`.
+  StepResult step(Cursor& c, int from, const BatchPtr& batch);
+
+  /// The coalesced wire batch for `own` (sender-side INITs) + any branch
+  /// carry-over + the log range [flushed, index), grouped by (type, value)
+  /// in first-appearance order; nullopt when there is nothing to send.
+  /// Advances the cursor's flush point.
+  std::optional<Payload> flush_batch(Cursor& c, const std::vector<Send>& own);
+
+  /// Record that the cursor has nothing pending (same-window bookkeeping
+  /// when no flush is scheduled) so the cohort can prune behind it.
+  void mark_flushed(Cursor& c);
+
+  ~AcastShared();
+
+ private:
+  explicit AcastShared(Sim& sim) : stats_(&sim.decode_cache_stats()) {}
+
+  std::uint32_t intern_locked(const Bytes& value);
+  void branch(Cursor& c, Cohort& old);
+  void maybe_prune(Cohort& co);
+
+  Sim::DecodeCacheStats* stats_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> values_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vids_by_digest_;
+
+  struct PtrEntry {
+    std::shared_ptr<const Bytes> anchor;  // pins the pointer key
+    BatchPtr batch;
+  };
+  std::unordered_map<const Bytes*, PtrEntry> by_ptr_;
+  struct BodyEntry {
+    std::shared_ptr<const Bytes> canonical;  // shares the first-seen buffer
+    BatchPtr batch;
+  };
+  std::unordered_map<std::uint64_t, std::vector<BodyEntry>> by_body_;
+  std::unordered_map<std::uint64_t, std::vector<Payload>> canon_;
+  std::shared_ptr<Cohort> root_;
+};
+
+// ---------------------------------------------------------------------------
+// SbaShared — one logical SbaBank's intern, expansion and round-result
+// caches. K, n, t are fixed per logical bank.
+// ---------------------------------------------------------------------------
+class SbaShared {
+ public:
+  static std::shared_ptr<SbaShared> get(Party& party, const std::string& id, int K, int n, int t);
+
+  using Vids = std::vector<std::uint32_t>;          // per-slot vid, 0 = ⊥
+  using VidsPtr = std::shared_ptr<const Vids>;
+  using Flags = std::vector<char>;
+  using FlagsPtr = std::shared_ptr<const Flags>;
+
+  /// Decoded + expanded SBA vector: phase k plus per-slot vids over all K
+  /// slots (groups first-covering-wins, then the default). `vids` is null
+  /// iff the body is malformed (dropped wholesale, same rule as bcwire).
+  struct Expanded {
+    std::uint32_t k = 0;
+    VidsPtr vids;
+  };
+  using ExpandedPtr = std::shared_ptr<const Expanded>;
+
+  std::uint32_t intern(const Bytes& value);
+  Bytes value(std::uint32_t vid) const;
+
+  /// Canonical (content-interned) per-slot vid vector. Round-result and
+  /// encode caches key on VECTOR IDENTITY, so every producer of a vids
+  /// vector must route it through here: two parties building the same input
+  /// vector independently then share one pointer and every downstream cache
+  /// line. Canonical vectors are anchored for the bank's lifetime.
+  VidsPtr canonical_vids(Vids&& v);
+
+  ExpandedPtr expand(const Payload& body);
+
+  /// Round results, computed once per distinct acceptance-ordered vote list
+  /// across ALL receiving parties (honest receivers of a crisp round hold
+  /// identical lists of identical expansion pointers). Each result is the
+  /// exact per-slot computation of the pre-bank per-pair path:
+  ///  round_a: per slot, the lex-min non-⊥ value with vote1 support >= n−t;
+  ///  round_b: per slot, the most-supported non-⊥ vote2 value d with support
+  ///           D (ties lex-min): locked = D >= n−t; v = d if D >= t+1, else
+  ///           prior if locked, else ⊥;
+  ///  round_c: per slot, locked keeps v, else the plurality value over the
+  ///           king committee's vectors (ties lex-min; no king keeps v).
+  VidsPtr round_a(const std::vector<VidsPtr>& vote1);
+  struct BResult {
+    VidsPtr v;
+    FlagsPtr locked;
+  };
+  std::shared_ptr<const BResult> round_b(const VidsPtr& prior, const std::vector<VidsPtr>& vote2);
+  VidsPtr round_c(const VidsPtr& v, const FlagsPtr& locked, const std::vector<VidsPtr>& kings);
+
+  /// Encode `vids` as a phase-k wire vector (groups + most-frequent default,
+  /// ties toward the smaller VALUE — vid order is interleaving-dependent and
+  /// must never reach the wire). Cached per (k, vector identity), and
+  /// byte-canonicalized, so every honest sender of one round's unanimous
+  /// vector puts the SAME buffer on the wire.
+  Payload encode(std::uint32_t k, const VidsPtr& vids);
+
+ private:
+  SbaShared(Sim& sim, int K, int n, int t)
+      : stats_(&sim.decode_cache_stats()), K_(K), n_(n), t_(t) {
+    intern_locked(Bytes{});  // vid 0 is ⊥, so vid != 0 <=> non-empty value
+  }
+
+  std::uint32_t intern_locked(const Bytes& value);
+  VidsPtr canonical_vids_locked(Vids&& v);
+  /// Lex compare of interned values without copying out.
+  bool value_less(std::uint32_t a, std::uint32_t b) const {
+    return values_[a] < values_[b];
+  }
+
+  Sim::DecodeCacheStats* stats_;
+  int K_, n_, t_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> values_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vids_by_digest_;
+
+  struct PtrEntry {
+    std::shared_ptr<const Bytes> anchor;
+    ExpandedPtr exp;
+  };
+  std::unordered_map<const Bytes*, PtrEntry> by_ptr_;
+  struct BodyEntry {
+    std::shared_ptr<const Bytes> canonical;
+    ExpandedPtr exp;
+  };
+  std::unordered_map<std::uint64_t, std::vector<BodyEntry>> by_body_;
+  std::unordered_map<std::uint64_t, std::vector<Payload>> canon_;
+  std::unordered_map<std::uint64_t, std::vector<VidsPtr>> vids_canon_;
+
+  /// Pointer-list key over the argument vectors. Entries anchor the keyed
+  /// pointers (defensive: callers' argument vectors are themselves owned by
+  /// the caches above, but a refcount bump is cheap insurance).
+  using PtrKey = std::vector<std::uintptr_t>;
+  struct PtrKeyHash {
+    std::size_t operator()(const PtrKey& k) const {
+      std::uint64_t h = 14695981039346656037ull;
+      for (std::uintptr_t p : k) {
+        h ^= static_cast<std::uint64_t>(p);
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  template <typename V>
+  struct ResultEntry {
+    std::vector<std::shared_ptr<const void>> anchors;
+    V result;
+  };
+  std::unordered_map<PtrKey, ResultEntry<VidsPtr>, PtrKeyHash> round_a_;
+  std::unordered_map<PtrKey, ResultEntry<std::shared_ptr<const BResult>>, PtrKeyHash> round_b_;
+  std::unordered_map<PtrKey, ResultEntry<VidsPtr>, PtrKeyHash> round_c_;
+  std::unordered_map<PtrKey, ResultEntry<Payload>, PtrKeyHash> encode_;
+};
+
+}  // namespace bobw

@@ -47,9 +47,9 @@ class Bc {
   Tick start_time() const { return bank_->start_time(); }
   bool regular_decided() const { return bank_->regular_decided(0); }
   /// Regular-mode output (nullopt = ⊥ or not yet decided).
-  const std::optional<Bytes>& regular_output() const { return bank_->regular_output(0); }
+  std::optional<Bytes> regular_output() const { return bank_->regular_output(0); }
   /// Best known output, including fallback switches.
-  const std::optional<Bytes>& output() const { return bank_->output(0); }
+  std::optional<Bytes> output() const { return bank_->output(0); }
 
  private:
   std::unique_ptr<BcBank> bank_;

@@ -1,8 +1,9 @@
 #include "src/bcast/bc_bank.hpp"
 
 #include <algorithm>
+#include <cassert>
 
-#include "src/common/digest.hpp"
+#include "src/bcast/phase_king.hpp"
 
 namespace bobw {
 
@@ -83,19 +84,6 @@ std::optional<SbaMsg> decode_sba(const Bytes& b) {
 
 namespace {
 
-/// Dense intern of a value into (values, digest-bucket) tables: one hash per
-/// lookup, full-body compare only within the digest bucket.
-std::uint32_t intern_value(const Bytes& value, std::vector<Bytes>& values,
-                           std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>& buckets) {
-  auto& bucket = buckets[body_digest(value)];
-  for (std::uint32_t vid : bucket)
-    if (values[vid] == value) return vid;
-  const auto vid = static_cast<std::uint32_t>(values.size());
-  values.push_back(value);
-  bucket.push_back(vid);
-  return vid;
-}
-
 /// SBA input encoding shared with the per-pair path: ⊥ -> empty, value m ->
 /// 0x01 || m (so an empty Acast payload cannot masquerade as ⊥).
 Bytes wrap(const Bytes& m) {
@@ -113,40 +101,20 @@ Bytes wrap(const Bytes& m) {
 AcastBank::AcastBank(Party& party, std::string id, std::vector<int> senders, int t, Tick delta,
                      Handler on_output)
     : Instance(party, std::move(id)),
-      senders_(std::move(senders)),
-      t_(t),
       delta_(delta),
       on_output_(std::move(on_output)),
-      slots_(senders_.size()) {}
-
-std::uint32_t AcastBank::intern(const Bytes& value) {
-  return intern_value(value, values_, vids_by_digest_);
-}
-
-int AcastBank::add_vote(std::vector<VoteSet>& sets, std::uint32_t vid, int from) {
-  const std::size_t word = static_cast<std::size_t>(from) / 64;
-  const std::uint64_t bit = 1ull << (static_cast<std::size_t>(from) % 64);
-  for (VoteSet& v : sets) {
-    if (v.vid != vid) continue;
-    if (v.mask[word] & bit) return 0;
-    v.mask[word] |= bit;
-    return ++v.count;
-  }
-  VoteSet v;
-  v.vid = vid;
-  v.count = 1;
-  v.mask.assign((static_cast<std::size_t>(n()) + 63) / 64, 0);
-  v.mask[word] |= bit;
-  sets.push_back(std::move(v));
-  return 1;
+      shared_(AcastShared::get(party, this->id())),
+      outputs_(senders.size(), AcastShared::kNoVid) {
+  shared_->configure(std::move(senders), t, party.n());
+  shared_->join(cursor_);
 }
 
 void AcastBank::start(int slot, const Bytes& m) {
-  queue_send(kInit, intern(m), static_cast<std::uint32_t>(slot));
+  own_.push_back(AcastShared::Send{kInit, shared_->intern(m), static_cast<std::uint32_t>(slot)});
+  schedule_flush();
 }
 
-void AcastBank::queue_send(std::uint8_t type, std::uint32_t vid, std::uint32_t slot) {
-  outbox_.push_back(Outgoing{type, vid, slot});
+void AcastBank::schedule_flush() {
   if (flush_scheduled_) return;
   flush_scheduled_ = true;
   at(next_multiple(now(), delta_), [this] { flush(); });
@@ -154,93 +122,49 @@ void AcastBank::queue_send(std::uint8_t type, std::uint32_t vid, std::uint32_t s
 
 void AcastBank::flush() {
   flush_scheduled_ = false;
-  if (outbox_.empty()) return;
-  // Group by (type, vid) in first-appearance order — deterministic, and K
-  // near-identical bodies (a window's worth of ok-verdict echoes) cost one
-  // value on the wire. Keyed on the interned vid, so no byte compares.
-  std::vector<bcwire::AcastGroup> groups;
-  std::unordered_map<std::uint64_t, std::size_t> group_of;  // (type<<32|vid) -> group
-  for (const Outgoing& o : outbox_) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(o.type) << 32) | o.vid;
-    auto [it, fresh] = group_of.try_emplace(key, groups.size());
-    if (fresh) groups.push_back(bcwire::AcastGroup{o.type, values_[o.vid], {}});
-    groups[it->second].slots.push_back(o.slot);
-  }
-  outbox_.clear();
-  send_all(kBatch, bcwire::encode_acast_batch(groups));
+  auto p = shared_->flush_batch(cursor_, own_);
+  own_.clear();
+  if (p) send_all(kBatch, std::move(*p));
 }
 
 void AcastBank::on_message(const Msg& m) {
   if (m.type != kBatch) return;
-  const int K = static_cast<int>(slots_.size());
-  for (const auto& g : bcwire::decode_acast_batch(m.body)) {
-    if (g.type > kReady) continue;  // unknown sub-type from a Byzantine sender
-    const std::uint32_t vid = intern(g.value);
-    for (std::uint32_t us : g.slots) {
-      if (us >= static_cast<std::uint32_t>(K)) continue;
-      const int s = static_cast<int>(us);
-      Slot& slot = slots_[us];
-      switch (g.type) {
-        case kInit: {
-          if (m.from != senders_[us] || slot.echoed) break;
-          slot.echoed = true;
-          queue_send(kEcho, vid, us);
-          break;
-        }
-        case kEcho: {
-          const int c = add_vote(slot.echoes, vid, m.from);
-          if (!c) break;
-          // ⌈(n+t+1)/2⌉ echoes for the same value.
-          if (c >= (n() + t_ + 2) / 2) maybe_ready(s, vid);
-          break;
-        }
-        case kReady: {
-          const int c = add_vote(slot.readies, vid, m.from);
-          if (!c) break;
-          if (c >= t_ + 1) maybe_ready(s, vid);
-          if (c >= 2 * t_ + 1) accept(s, vid);
-          break;
-        }
-        default:
-          break;
-      }
-    }
+  const AcastShared::BatchPtr batch = shared_->decode(m.body);
+  const AcastShared::StepResult res = shared_->step(cursor_, m.from, batch);
+  if (res.queued_sends) schedule_flush();
+  // With no flush pending the cursor has nothing to re-read from the log;
+  // telling the cohort keeps its prune floor moving.
+  if (!flush_scheduled_) shared_->mark_flushed(cursor_);
+  for (const AcastShared::SlotOutput& o : res.outputs) {
+    outputs_[o.slot] = o.vid;
+    if (on_output_) on_output_(static_cast<int>(o.slot), shared_->value(o.vid));
   }
-}
-
-void AcastBank::maybe_ready(int slot, std::uint32_t vid) {
-  Slot& s = slots_[static_cast<std::size_t>(slot)];
-  if (s.readied) return;
-  s.readied = true;
-  queue_send(kReady, vid, static_cast<std::uint32_t>(slot));
-}
-
-void AcastBank::accept(int slot, std::uint32_t vid) {
-  Slot& s = slots_[static_cast<std::size_t>(slot)];
-  if (s.output) return;
-  s.output = values_[vid];
-  if (on_output_) on_output_(slot, *s.output);
 }
 
 // ---------------------------------------------------------------- SbaBank ---
 
-SbaBank::SbaBank(Party& party, std::string id, int K, int t, Tick start_time, InputProvider input)
+SbaBank::SbaBank(Party& party, std::string id, int K, const Ctx& ctx, Tick start_time,
+                 InputProvider input)
     : Instance(party, std::move(id)),
       K_(K),
-      t_(t),
+      t_(ctx.ts),
       start_(start_time),
       input_(std::move(input)),
-      v_(static_cast<std::size_t>(K), 0),
-      locked_(static_cast<std::size_t>(K), 0),
-      outputs_(static_cast<std::size_t>(K)) {
-  intern(Bytes{});  // vid 0 is ⊥, so vid != 0 <=> non-empty value
+      shared_(SbaShared::get(party, this->id(), K, party.n(), ctx.ts)),
+      committees_(bgp::committees(ctx.bgp, ctx.ts, party.n())) {
+  phases_.resize(committees_.size());
   const Tick d = party_.sim().delta();
   at(start_, [this] {
-    for (int s = 0; s < K_; ++s)
-      v_[static_cast<std::size_t>(s)] = input_ ? intern(input_(s)) : 0;
+    SbaShared::Vids v(static_cast<std::size_t>(K_), 0);
+    if (input_)
+      for (int s = 0; s < K_; ++s) v[static_cast<std::size_t>(s)] = input_(s);
+    // Content-interned: every party with the same inputs (all of them, in a
+    // crisp honest round) feeds the SAME pointer into the phase-1 round
+    // caches, so round_b's prior-keyed result is computed once, not n times.
+    v_ = shared_->canonical_vids(std::move(v));
     send_vector(kVote1, 1, v_);
   });
-  for (int k = 1; k <= t_ + 1; ++k) {
+  for (int k = 1; k <= num_phases(); ++k) {
     const Tick base = start_ + 3 * static_cast<Tick>(k - 1) * d;
     at(base + d, [this, k] { round_a_end(k); });
     at(base + 2 * d, [this, k] { round_b_end(k); });
@@ -248,18 +172,13 @@ SbaBank::SbaBank(Party& party, std::string id, int K, int t, Tick start_time, In
   }
 }
 
-std::uint32_t SbaBank::intern(const Bytes& value) {
-  return intern_value(value, values_, vids_by_digest_);
-}
-
 SbaBank::PhaseVotes& SbaBank::phase(int k) {
-  PhaseVotes& ph = phases_[k];
-  if (ph.vote1.empty()) {
+  PhaseVotes& ph = phases_[static_cast<std::size_t>(k - 1)];
+  if (ph.seen1.empty()) {
     const std::size_t words = (static_cast<std::size_t>(n()) + 63) / 64;
     ph.seen1.assign(words, 0);
     ph.seen2.assign(words, 0);
-    ph.vote1.resize(static_cast<std::size_t>(K_));
-    ph.vote2.resize(static_cast<std::size_t>(K_));
+    ph.king.resize(committees_[static_cast<std::size_t>(k - 1)].size());
   }
   return ph;
 }
@@ -272,54 +191,32 @@ bool SbaBank::mark_seen(std::vector<std::uint64_t>& mask, int from) {
   return true;
 }
 
-std::vector<std::uint32_t> SbaBank::expand(const bcwire::SbaMsg& m) {
-  constexpr std::uint32_t kUncovered = ~std::uint32_t{0};
-  std::vector<std::uint32_t> out(static_cast<std::size_t>(K_), kUncovered);
-  for (const auto& g : m.groups) {
-    const std::uint32_t vid = intern(g.value);
-    for (std::uint32_t s : g.slots)
-      if (s < static_cast<std::uint32_t>(K_) && out[s] == kUncovered) out[s] = vid;
-  }
-  const std::uint32_t def_vid = intern(m.def);
-  for (auto& vid : out)
-    if (vid == kUncovered) vid = def_vid;
-  return out;
-}
-
-void SbaBank::add_tally(std::vector<Tally>& t, std::uint32_t vid) {
-  for (Tally& e : t)
-    if (e.vid == vid) {
-      ++e.count;
-      return;
-    }
-  t.push_back(Tally{vid, 1});
+int SbaBank::committee_index(int k, int who) const {
+  const auto& c = committees_[static_cast<std::size_t>(k - 1)];
+  for (std::size_t i = 0; i < c.size(); ++i)
+    if (c[i] == who) return static_cast<int>(i);
+  return -1;
 }
 
 void SbaBank::on_message(const Msg& m) {
-  auto decoded = bcwire::decode_sba(m.body);
-  if (!decoded) return;
-  const int k = static_cast<int>(decoded->k);
-  if (k < 1 || k > t_ + 1 || k <= done_through_) return;
+  const SbaShared::ExpandedPtr exp = shared_->expand(m.body);
+  if (!exp->vids) return;  // malformed: dropped wholesale
+  const int k = static_cast<int>(exp->k);
+  if (k < 1 || k > num_phases() || k <= done_through_) return;
   PhaseVotes& ph = phase(k);
   switch (m.type) {
-    case kVote1: {
+    case kVote1:
       if (!mark_seen(ph.seen1, m.from)) return;
-      const auto vids = expand(*decoded);
-      for (int s = 0; s < K_; ++s)
-        add_tally(ph.vote1[static_cast<std::size_t>(s)], vids[static_cast<std::size_t>(s)]);
+      ph.vote1.push_back(exp->vids);
       return;
-    }
-    case kVote2: {
+    case kVote2:
       if (!mark_seen(ph.seen2, m.from)) return;
-      const auto vids = expand(*decoded);
-      for (int s = 0; s < K_; ++s)
-        add_tally(ph.vote2[static_cast<std::size_t>(s)], vids[static_cast<std::size_t>(s)]);
+      ph.vote2.push_back(exp->vids);
       return;
-    }
     case kKing: {
-      if (m.from != (k - 1) % n() || ph.king_seen) return;
-      ph.king = expand(*decoded);
-      ph.king_seen = true;
+      const int idx = committee_index(k, m.from);
+      if (idx < 0 || ph.king[static_cast<std::size_t>(idx)]) return;
+      ph.king[static_cast<std::size_t>(idx)] = exp->vids;
       return;
     }
     default:
@@ -327,151 +224,166 @@ void SbaBank::on_message(const Msg& m) {
   }
 }
 
-void SbaBank::send_vector(int type, int k, const std::vector<std::uint32_t>& vids) {
-  // Default = the most frequent value (ties -> smaller vid); the rest go out
-  // as explicit groups in first-appearance order.
-  std::unordered_map<std::uint32_t, int> freq;
-  std::vector<std::uint32_t> order;
-  for (std::uint32_t vid : vids) {
-    if (++freq[vid] == 1) order.push_back(vid);
-  }
-  std::uint32_t def_vid = order.empty() ? 0 : order.front();
-  for (std::uint32_t vid : order) {
-    const int c = freq[vid], best = freq[def_vid];
-    if (c > best || (c == best && vid < def_vid)) def_vid = vid;
-  }
-  bcwire::SbaMsg msg;
-  msg.k = static_cast<std::uint32_t>(k);
-  msg.def = value_of(def_vid);
-  // One pass: group index per non-default vid in first-appearance order
-  // (slot lists come out ascending, identical to a per-vid rescan).
-  std::unordered_map<std::uint32_t, std::size_t> group_of;
-  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(K_); ++s) {
-    const std::uint32_t vid = vids[s];
-    if (vid == def_vid) continue;
-    auto [it, fresh] = group_of.try_emplace(vid, msg.groups.size());
-    if (fresh) msg.groups.push_back(bcwire::SbaMsg::Group{value_of(vid), {}});
-    msg.groups[it->second].slots.push_back(s);
-  }
-  send_all(type, bcwire::encode_sba(msg));
+void SbaBank::send_vector(int type, int k, const SbaShared::VidsPtr& vids) {
+  send_all(type, shared_->encode(static_cast<std::uint32_t>(k), vids));
 }
 
 void SbaBank::round_a_end(int k) {
-  PhaseVotes& ph = phase(k);
-  // Per slot: a non-⊥ value with support >= n−t among VOTE1 becomes the
-  // proposal (at most one value can reach n−t with t < n/3; the lexicographic
-  // tie-break mirrors the per-pair std::map iteration order).
-  std::vector<std::uint32_t> proposal(static_cast<std::size_t>(K_), 0);
-  for (int s = 0; s < K_; ++s) {
-    std::uint32_t best = 0;
-    bool found = false;
-    for (const Tally& t : ph.vote1[static_cast<std::size_t>(s)]) {
-      if (t.vid == 0 || t.count < n() - t_) continue;
-      if (!found || value_of(t.vid) < value_of(best)) {
-        best = t.vid;
-        found = true;
-      }
-    }
-    if (found) proposal[static_cast<std::size_t>(s)] = best;
-  }
-  send_vector(kVote2, k, proposal);
+  send_vector(kVote2, k, shared_->round_a(phase(k).vote1));
 }
 
 void SbaBank::round_b_end(int k) {
-  PhaseVotes& ph = phase(k);
-  for (int s = 0; s < K_; ++s) {
-    // Most supported non-⊥ proposal; ties -> lexicographically smaller value
-    // (the per-pair path iterated a std::map<Bytes, int> and kept the first
-    // maximum).
-    std::uint32_t best = 0;
-    int best_c = 0;
-    for (const Tally& t : ph.vote2[static_cast<std::size_t>(s)]) {
-      if (t.vid == 0) continue;
-      if (t.count > best_c || (t.count == best_c && best_c > 0 && value_of(t.vid) < value_of(best))) {
-        best = t.vid;
-        best_c = t.count;
-      }
-    }
-    locked_[static_cast<std::size_t>(s)] = best_c >= n() - t_ ? 1 : 0;
-    if (best_c >= t_ + 1) {
-      v_[static_cast<std::size_t>(s)] = best;
-    } else if (!locked_[static_cast<std::size_t>(s)]) {
-      v_[static_cast<std::size_t>(s)] = 0;  // ⊥ until the king speaks
-    }
-  }
-  if (self() == (k - 1) % n()) send_vector(kKing, k, v_);
+  const auto res = shared_->round_b(v_, phase(k).vote2);
+  v_ = res->v;
+  locked_ = res->locked;
+  if (committee_index(k, self()) >= 0) send_vector(kKing, k, v_);
 }
 
 void SbaBank::round_c_end(int k) {
-  PhaseVotes& ph = phase(k);
-  for (int s = 0; s < K_; ++s) {
-    if (!locked_[static_cast<std::size_t>(s)] && ph.king_seen)
-      v_[static_cast<std::size_t>(s)] = ph.king[static_cast<std::size_t>(s)];
-    locked_[static_cast<std::size_t>(s)] = 0;
-  }
-  phases_.erase(k);  // completed phases never tally late votes
+  v_ = shared_->round_c(v_, locked_, phase(k).king);
+  // Completed phases never tally late votes; release their vote storage.
+  phases_[static_cast<std::size_t>(k - 1)] = PhaseVotes{};
   done_through_ = k;
-  if (k == t_ + 1) finish();
+  if (k == num_phases()) finished_ = true;
   // Next phase's VOTE1 goes out now (same tick as this round's end).
-  if (k < t_ + 1) send_vector(kVote1, k + 1, v_);
-}
-
-void SbaBank::finish() {
-  for (int s = 0; s < K_; ++s) {
-    auto& out = outputs_[static_cast<std::size_t>(s)];
-    if (!out) out = value_of(v_[static_cast<std::size_t>(s)]);
-  }
+  if (k < num_phases()) send_vector(kVote1, k + 1, v_);
 }
 
 // ----------------------------------------------------------------- BcBank ---
 
+BcBank::BcBank(Party& party, const std::string& id, std::vector<Group> groups, const Ctx& ctx)
+    : party_(party), ctx_(ctx) {
+  assert(!groups.empty());
+  std::size_t base = 0;
+  for (Group& g : groups) {
+    GroupState gs;
+    gs.senders = std::move(g.senders);
+    gs.start = g.start;
+    gs.handler = std::move(g.handler);
+    gs.base = base;
+    base += gs.senders.size();
+    gs.regular_done.assign(gs.senders.size(), 0);
+    gs.regular.assign(gs.senders.size(), AcastShared::kNoVid);
+    gs.current.assign(gs.senders.size(), AcastShared::kNoVid);
+    groups_.push_back(std::move(gs));
+  }
+  std::vector<int> all_senders;
+  all_senders.reserve(base);
+  for (const GroupState& gs : groups_) {
+    bases_.push_back(gs.base);
+    all_senders.insert(all_senders.end(), gs.senders.begin(), gs.senders.end());
+  }
+  // SBA schedules: one per distinct group start, first-appearance order
+  // (equal-start groups — a sharing's n child grids — share one schedule).
+  std::vector<Tick> part_start;
+  for (GroupState& gs : groups_) {
+    int p = -1;
+    for (std::size_t i = 0; i < part_start.size(); ++i)
+      if (part_start[i] == gs.start) p = static_cast<int>(i);
+    if (p < 0) {
+      p = static_cast<int>(part_start.size());
+      part_start.push_back(gs.start);
+      part_slots_.emplace_back();
+    }
+    gs.sba = p;
+    gs.sba_base = part_slots_[static_cast<std::size_t>(p)].size();
+    for (std::size_t s = 0; s < gs.senders.size(); ++s)
+      part_slots_[static_cast<std::size_t>(p)].push_back(gs.base + s);
+  }
+  wrap_vids_.resize(part_slots_.size());
+  acast_ = std::make_unique<AcastBank>(
+      party_, sub_id(id, "acast"), std::move(all_senders), ctx_.ts, ctx_.delta,
+      [this](int slot, const Bytes& m) { on_acast(slot, m); });
+  const bool multi = part_slots_.size() > 1;
+  for (std::size_t p = 0; p < part_slots_.size(); ++p) {
+    const std::string sid =
+        multi ? sub_id(id, "sba" + std::to_string(p)) : sub_id(id, "sba");
+    sbas_.push_back(std::make_unique<SbaBank>(
+        party_, sid, static_cast<int>(part_slots_[p].size()), ctx_, part_start[p] + 3 * ctx_.delta,
+        [this, p](int ls) -> std::uint32_t {
+          // Input for the slot's SBA at local time T0+3Δ: current Acast
+          // output or ⊥ — exactly Bc's input rule, in vid space.
+          const auto global = static_cast<int>(part_slots_[p][static_cast<std::size_t>(ls)]);
+          const auto avid = acast_->output_vid(global);
+          return avid ? wrap_vid(static_cast<int>(p), *avid) : 0;
+        }));
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    party_.at(groups_[g].start + ctx_.T.t_bc, [this, g] {
+      for (int s = 0; s < slots(static_cast<int>(g)); ++s)
+        decide_regular(static_cast<int>(g), s);
+    });
+  }
+}
+
+namespace {
+std::vector<BcBank::Group> single_group(std::vector<int> senders, Tick start,
+                                        BcBank::Handler handler) {
+  std::vector<BcBank::Group> gs;
+  gs.push_back(BcBank::Group{std::move(senders), start, std::move(handler)});
+  return gs;
+}
+}  // namespace
+
 BcBank::BcBank(Party& party, const std::string& id, std::vector<int> senders, const Ctx& ctx,
                Tick start_time, Handler handler)
-    : party_(party),
-      senders_(std::move(senders)),
-      ctx_(ctx),
-      start_(start_time),
-      handler_(std::move(handler)),
-      regular_done_(senders_.size(), 0),
-      regular_(senders_.size()),
-      current_(senders_.size()) {
-  acast_ = std::make_unique<AcastBank>(
-      party_, sub_id(id, "acast"), senders_, ctx_.ts, ctx_.delta,
-      [this](int slot, const Bytes& m) { on_acast(slot, m); });
-  sba_ = std::make_unique<SbaBank>(
-      party_, sub_id(id, "sba"), slots(), ctx_.ts, start_ + 3 * ctx_.delta,
-      [this](int slot) -> Bytes {
-        // Input for the slot's SBA at local time T0+3Δ: current Acast output
-        // or ⊥ — exactly Bc's input rule.
-        return acast_->output(slot) ? wrap(*acast_->output(slot)) : Bytes{};
-      });
-  party_.at(start_ + ctx_.T.t_bc, [this] {
-    for (int s = 0; s < slots(); ++s) decide_regular(s);
-  });
+    : BcBank(party, id, single_group(std::move(senders), start_time, std::move(handler)), ctx) {}
+
+void BcBank::broadcast(int group, int slot, const Bytes& m) {
+  acast_->start(
+      static_cast<int>(groups_[static_cast<std::size_t>(group)].base +
+                       static_cast<std::size_t>(slot)),
+      m);
 }
 
-void BcBank::broadcast(int slot, const Bytes& m) { acast_->start(slot, m); }
+int BcBank::group_of(std::size_t global_slot) const {
+  return static_cast<int>(std::upper_bound(bases_.begin(), bases_.end(), global_slot) -
+                          bases_.begin()) -
+         1;
+}
 
-void BcBank::decide_regular(int slot) {
+std::uint32_t BcBank::wrap_vid(int part, std::uint32_t acast_vid) {
+  auto& memo = wrap_vids_[static_cast<std::size_t>(part)];
+  auto it = memo.find(acast_vid);
+  if (it != memo.end()) return it->second;
+  const std::uint32_t w =
+      sbas_[static_cast<std::size_t>(part)]->intern_input(wrap(acast_->value(acast_vid)));
+  memo.emplace(acast_vid, w);
+  return w;
+}
+
+std::optional<Bytes> BcBank::materialize(std::uint32_t vid) const {
+  return vid == AcastShared::kNoVid ? std::nullopt : std::optional<Bytes>(acast_->value(vid));
+}
+
+void BcBank::decide_regular(int group, int slot) {
+  GroupState& gs = groups_[static_cast<std::size_t>(group)];
   const auto us = static_cast<std::size_t>(slot);
-  regular_done_[us] = 1;
-  const auto& acast_out = acast_->output(slot);
-  const auto& sba_out = sba_->output(slot);
-  if (acast_out && sba_out && *sba_out == wrap(*acast_out)) {
-    regular_[us] = acast_out;
-    current_[us] = regular_[us];
+  gs.regular_done[us] = 1;
+  const auto global = static_cast<int>(gs.base + us);
+  const auto avid = acast_->output_vid(global);
+  const auto svid =
+      sbas_[static_cast<std::size_t>(gs.sba)]->output_vid(static_cast<int>(gs.sba_base + us));
+  if (avid && svid && *svid == wrap_vid(gs.sba, *avid)) {
+    gs.regular[us] = *avid;
+    gs.current[us] = *avid;
   }
-  if (handler_) handler_(slot, regular_[us], /*fallback=*/false);
+  if (gs.handler) gs.handler(slot, materialize(gs.regular[us]), /*fallback=*/false);
   // Immediate fallback: Acast already delivered but the SBA disagreed.
-  if (!regular_[us] && acast_out) on_acast(slot, *acast_out);
+  if (gs.regular[us] == AcastShared::kNoVid && avid) on_acast(global, acast_->value(*avid));
 }
 
-void BcBank::on_acast(int slot, const Bytes& m) {
-  const auto us = static_cast<std::size_t>(slot);
-  if (!regular_done_[us] || regular_[us]) return;  // fallback only after a ⊥ regular output
-  if (current_[us]) return;
-  current_[us] = m;
-  if (handler_) handler_(slot, current_[us], /*fallback=*/true);
+void BcBank::on_acast(int global_slot, const Bytes& m) {
+  const int g = group_of(static_cast<std::size_t>(global_slot));
+  GroupState& gs = groups_[static_cast<std::size_t>(g)];
+  const std::size_t us = static_cast<std::size_t>(global_slot) - gs.base;
+  // Fallback only after a ⊥ regular output, and only once.
+  if (!gs.regular_done[us] || gs.regular[us] != AcastShared::kNoVid) return;
+  if (gs.current[us] != AcastShared::kNoVid) return;
+  const auto avid = acast_->output_vid(global_slot);
+  if (!avid) return;  // handler context: the Acast accepted, so this is set
+  gs.current[us] = *avid;
+  if (gs.handler) gs.handler(static_cast<int>(us), std::optional<Bytes>(m), /*fallback=*/true);
 }
 
 }  // namespace bobw

@@ -1,14 +1,20 @@
-// BcBank — a K-slot ΠBC broadcast bank (slot-multiplexed transport).
+// BcBank — a slot-multiplexed ΠBC broadcast bank over a multi-group slot
+// space.
 //
 // The paper's ΠWPS/ΠVSS pairwise-consistency step runs n² independent ΠBC
-// instances with one shared public start time; ΠBA runs n. Each independent
-// instance pays its own ΠACast (O(n²) echo/ready messages) and its own
-// 3(t+1)-round phase-king SBA (n send_alls per round) — O(n⁵) messages per
-// sharing. The bank preserves every slot's ΠBC *decision logic* bit-for-bit
-// (same Acast thresholds, same phase-king tallies, same T0+T_BC regular
-// deadline and fallback rule) but multiplexes the transport:
+// instances with one shared public start time; ΠBA runs n; and one ΠVSS
+// sharing runs n+1 such grids (the dealer's plus one per child-ΠWPS). Each
+// independent instance pays its own ΠACast (O(n²) echo/ready messages) and
+// its own 3(t+1)-round phase-king SBA (n send_alls per round). The bank
+// preserves every slot's ΠBC *decision logic* bit-for-bit (same Acast
+// thresholds, same phase-king tallies, same T0+T_BC regular deadline and
+// fallback rule) but multiplexes the transport:
 //
-//  * AcastBank coalesces all slots' INIT/ECHO/READY traffic per local
+//  * A bank serves a list of GROUPS — (senders, start time, handler) — over
+//    one flattened slot space. For ΠVSS that is the 3-D space
+//    (child, i, j): all n child ok-grids plus the dealer grid of one sharing
+//    ride ONE bank.
+//  * AcastBank coalesces all groups' INIT/ECHO/READY traffic per local
 //    Δ-window into ONE wire message of (type, value) → slot-list groups,
 //    with per-slot digest-interned echo/ready vote sets. Outgoing traffic is
 //    buffered and flushed when the local clock next hits a multiple of Δ —
@@ -17,18 +23,27 @@
 //    round-crisp schedule is unchanged; mid-window arrivals wait for the
 //    boundary, which still meets every 3Δ Acast deadline because the flush
 //    boundary is exactly the worst-case arrival bound.
-//  * SbaBank runs ONE shared 3(t+1)-round phase-king schedule whose
-//    per-round send_all carries the vector of all K slot values (encoded as
-//    value-groups + a default value, so K near-identical verdicts cost O(1)
-//    values on the wire).
-//  * BcBank composes the two and exposes per-slot broadcast() and per-slot
-//    regular/fallback handler semantics identical to Bc's. Bc itself is the
-//    K = 1 wrapper.
+//  * SbaBank runs ONE shared phase-king schedule per distinct group start
+//    time whose per-round send_all carries the vector of all K slot values
+//    (encoded as value-groups + a default value, so K near-identical
+//    verdicts cost O(1) values on the wire). A ΠVSS sharing needs exactly
+//    two: the n child grids share one start, the dealer grid starts later.
+//  * BcBank composes the two and exposes per-(group, slot) broadcast() and
+//    handler semantics identical to Bc's. Bc itself is the one-group, K = 1
+//    wrapper.
+//
+// Decode/tally state that is a pure function of payload bytes lives in
+// per-Sim shared objects (src/bcast/bank_shared.hpp): value interning, batch
+// decoding, SBA vector expansion and the per-round SBA results are computed
+// once per distinct payload/vote-list across ALL parties instead of once per
+// receiver. Shared vids are interleaving-dependent names, so every decision
+// and wire tie-break compares values, never vids.
 //
 // Grid message count drops from O(K·n²) + O(K·n·t) per Δ-window to O(n) per
 // Δ-window: each party sends at most one coalesced Acast batch per window
-// and one SBA vector per round. The pre-bank per-pair path is frozen in
-// bench/legacy_bcgrid.hpp for same-binary differential tests and benches.
+// and one SBA vector per round per schedule. The pre-bank per-pair path is
+// frozen in bench/legacy_bcgrid.hpp, and the pre-mega-bank per-child-bank
+// VSS wiring in bench/legacy_vssbank.hpp, for same-binary differentials.
 #pragma once
 
 #include <functional>
@@ -38,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/bcast/bank_shared.hpp"
 #include "src/core/timing.hpp"
 #include "src/sim/instance.hpp"
 
@@ -85,6 +101,14 @@ std::optional<SbaMsg> decode_sba(const Bytes& b);
 
 // ---------------------------------------------------------------------------
 // AcastBank — K Bracha broadcasts over one coalesced transport.
+//
+// The per-party instance is a thin cursor over the Sim-shared receiver
+// automaton (AcastShared::Cohort): receivers with identical delivery
+// histories — every honest party of a crisp window — share ONE copy of the
+// per-slot echo/ready tallies, so each transition's O(slots) vote work is
+// computed once per Sim instead of once per receiver, and each window's
+// outgoing batch is encoded once per cohort. Per party the bank keeps only
+// its accepted outputs (one vid per slot) and its own sender-side INITs.
 // ---------------------------------------------------------------------------
 class AcastBank : public Instance {
  public:
@@ -99,9 +123,18 @@ class AcastBank : public Instance {
   /// Δ-window; the INIT rides the next flush.
   void start(int slot, const Bytes& m);
 
-  const std::optional<Bytes>& output(int slot) const {
-    return slots_[static_cast<std::size_t>(slot)].output;
+  /// The accepted value, materialized out of the shared intern table.
+  std::optional<Bytes> output(int slot) const {
+    const std::uint32_t v = outputs_[static_cast<std::size_t>(slot)];
+    return v == AcastShared::kNoVid ? std::nullopt : std::optional<Bytes>(shared_->value(v));
   }
+  /// The accepted value as a vid in the bank's shared intern space — the
+  /// allocation-free path for downstream vid-space comparisons.
+  std::optional<std::uint32_t> output_vid(int slot) const {
+    const std::uint32_t v = outputs_[static_cast<std::size_t>(slot)];
+    return v == AcastShared::kNoVid ? std::nullopt : std::optional<std::uint32_t>(v);
+  }
+  Bytes value(std::uint32_t vid) const { return shared_->value(vid); }
 
   void on_message(const Msg& m) override;
 
@@ -110,46 +143,19 @@ class AcastBank : public Instance {
   enum SubType { kInit = 0, kEcho = 1, kReady = 2 };
 
  private:
-  /// Distinct-value intern table: digest-keyed, full-body compare on
-  /// collision. Ids are dense indices into values_.
-  std::uint32_t intern(const Bytes& value);
-
-  /// Per-slot, per-value distinct-sender tally (bitmask over parties).
-  struct VoteSet {
-    std::uint32_t vid = 0;
-    int count = 0;
-    std::vector<std::uint64_t> mask;
-  };
-  /// Adds `from` to the (slot-local) tally of `vid`; returns the new count,
-  /// or 0 if `from` was already recorded for that value.
-  int add_vote(std::vector<VoteSet>& sets, std::uint32_t vid, int from);
-
-  struct Slot {
-    bool echoed = false, readied = false;
-    std::vector<VoteSet> echoes, readies;
-    std::optional<Bytes> output;
-  };
-
-  void queue_send(std::uint8_t type, std::uint32_t vid, std::uint32_t slot);
+  void schedule_flush();
   void flush();
-  void maybe_ready(int slot, std::uint32_t vid);
-  void accept(int slot, std::uint32_t vid);
 
-  std::vector<int> senders_;
-  int t_;
   Tick delta_;
   Handler on_output_;
+  std::shared_ptr<AcastShared> shared_;
 
-  std::vector<Slot> slots_;
-  std::vector<Bytes> values_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vids_by_digest_;
-
-  struct Outgoing {
-    std::uint8_t type;
-    std::uint32_t vid;
-    std::uint32_t slot;
-  };
-  std::vector<Outgoing> outbox_;
+  AcastShared::Cursor cursor_;
+  /// Per-slot accepted vid; AcastShared::kNoVid = not yet accepted.
+  std::vector<std::uint32_t> outputs_;
+  /// Sender-side INITs awaiting the next flush (receiver-side traffic is
+  /// derived from the cohort log at flush time).
+  std::vector<AcastShared::Send> own_;
   bool flush_scheduled_ = false;
 };
 
@@ -158,106 +164,162 @@ class AcastBank : public Instance {
 // ---------------------------------------------------------------------------
 class SbaBank : public Instance {
  public:
-  /// Called once per slot at `start_time`, in slot order, to fetch inputs
-  /// (ΠBC reads each slot's Acast output at that moment). ⊥ = empty bytes.
-  using InputProvider = std::function<Bytes(int slot)>;
+  /// Called once per slot at `start_time`, in slot order, to fetch inputs as
+  /// vids in the bank's shared intern space (0 = ⊥; intern via
+  /// intern_input). ΠBC reads each slot's Acast output at that moment.
+  using InputProvider = std::function<std::uint32_t(int slot)>;
 
-  SbaBank(Party& party, std::string id, int K, int t, Tick start_time, InputProvider input);
+  /// `ctx` supplies t (= ctx.ts) and the phase-king schedule (ctx.bgp).
+  SbaBank(Party& party, std::string id, int K, const Ctx& ctx, Tick start_time,
+          InputProvider input);
 
-  const std::optional<Bytes>& output(int slot) const {
-    return outputs_[static_cast<std::size_t>(slot)];
+  /// Output as a vid in the shared intern space; nullopt before the final
+  /// phase completes.
+  std::optional<std::uint32_t> output_vid(int slot) const {
+    return finished_ ? std::optional<std::uint32_t>((*v_)[static_cast<std::size_t>(slot)])
+                     : std::nullopt;
   }
+  /// Materialized output bytes (copies out of the shared intern table).
+  std::optional<Bytes> output(int slot) const {
+    auto vid = output_vid(slot);
+    return vid ? std::optional<Bytes>(shared_->value(*vid)) : std::nullopt;
+  }
+
+  std::uint32_t intern_input(const Bytes& value) { return shared_->intern(value); }
 
   void on_message(const Msg& m) override;
 
   enum Type { kVote1 = 0, kVote2 = 1, kKing = 2 };
 
  private:
-  std::uint32_t intern(const Bytes& value);
-  const Bytes& value_of(std::uint32_t vid) const { return values_[vid]; }
-
-  struct Tally {
-    std::uint32_t vid = 0;
-    int count = 0;
-  };
   struct PhaseVotes {
     // Message-level dedupe: the first VOTE1/VOTE2/KING message of a sender
     // for this phase wins wholesale (per-pair instances deduped per sender
     // per instance; honest senders emit exactly one vector per round).
     std::vector<std::uint64_t> seen1, seen2;
-    bool king_seen = false;
-    std::vector<std::vector<Tally>> vote1, vote2;  // per slot
-    std::vector<std::uint32_t> king;               // per slot, if king_seen
+    // Acceptance-ordered expansions — the round-result cache keys.
+    std::vector<SbaShared::VidsPtr> vote1, vote2;
+    // Per committee member (singleton committee in kLinear mode).
+    std::vector<SbaShared::VidsPtr> king;
   };
   PhaseVotes& phase(int k);
   bool mark_seen(std::vector<std::uint64_t>& mask, int from);
-  /// Expand a decoded SBA vector to per-slot vids (groups first-wins, then
-  /// the default for uncovered slots).
-  std::vector<std::uint32_t> expand(const bcwire::SbaMsg& m);
-  void add_tally(std::vector<Tally>& t, std::uint32_t vid);
-  void send_vector(int type, int k, const std::vector<std::uint32_t>& vids);
+  int num_phases() const { return static_cast<int>(committees_.size()); }
+  /// Index of `who` in phase k's committee, or -1.
+  int committee_index(int k, int who) const;
+  void send_vector(int type, int k, const SbaShared::VidsPtr& vids);
 
   void round_a_end(int k);
   void round_b_end(int k);
   void round_c_end(int k);
-  void finish();
 
   int K_, t_;
   Tick start_;
   InputProvider input_;
+  std::shared_ptr<SbaShared> shared_;
+  std::vector<std::vector<int>> committees_;
 
-  std::vector<Bytes> values_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vids_by_digest_;
-
-  std::vector<std::uint32_t> v_;  // current value per slot (vid 0 = ⊥)
-  std::vector<char> locked_;      // per slot: D >= n−t this phase
-  std::unordered_map<int, PhaseVotes> phases_;
+  SbaShared::VidsPtr v_;        // current value per slot (vid 0 = ⊥)
+  SbaShared::FlagsPtr locked_;  // per slot: D >= n−t this phase (null = none)
+  std::vector<PhaseVotes> phases_;  // [k-1]; flat — hot per-delivery lookup
   int done_through_ = 0;  // phases <= this have completed; late votes ignored
-  std::vector<std::optional<Bytes>> outputs_;
+  bool finished_ = false;
 };
 
 // ---------------------------------------------------------------------------
-// BcBank — K ΠBC slots: AcastBank + SbaBank + the per-slot decision rule.
+// BcBank — ΠBC slots in groups: AcastBank + per-start SbaBanks + the
+// per-slot decision rule.
 // ---------------------------------------------------------------------------
 class BcBank {
  public:
   /// Per-slot ΠBC handler, semantics identical to Bc::Handler: fires once
   /// with the regular-mode output at T0+T_BC (value or ⊥) and once more if a
-  /// later fallback switch happens.
+  /// later fallback switch happens. The slot index is group-local.
   using Handler = std::function<void(int slot, const std::optional<Bytes>& value, bool fallback)>;
 
+  /// One logical ΠBC grid: per-slot accepted senders, the publicly known
+  /// start time T0, and the per-slot handler. Groups with equal start share
+  /// one SBA schedule.
+  struct Group {
+    std::vector<int> senders;
+    Tick start = 0;
+    Handler handler;
+  };
+
+  /// Mega-bank: one Acast coalescing window and per-distinct-start SBA
+  /// schedules over the union of all groups' slots.
+  BcBank(Party& party, const std::string& id, std::vector<Group> groups, const Ctx& ctx);
+
+  /// Single-group convenience (Bc, Ba, standalone ΠWPS grids).
   BcBank(Party& party, const std::string& id, std::vector<int> senders, const Ctx& ctx,
          Tick start_time, Handler handler);
 
-  /// Sender-side for `slot` (receivers ignore INITs from non-senders).
-  void broadcast(int slot, const Bytes& m);
+  /// Sender-side for a group-local slot (receivers ignore INITs from
+  /// non-senders).
+  void broadcast(int group, int slot, const Bytes& m);
+  void broadcast(int slot, const Bytes& m) { broadcast(0, slot, m); }
 
-  int slots() const { return static_cast<int>(senders_.size()); }
-  int sender(int slot) const { return senders_[static_cast<std::size_t>(slot)]; }
-  Tick start_time() const { return start_; }
-  bool regular_decided(int slot) const {
-    return regular_done_[static_cast<std::size_t>(slot)] != 0;
+  int groups() const { return static_cast<int>(groups_.size()); }
+  int slots(int group) const {
+    return static_cast<int>(groups_[static_cast<std::size_t>(group)].senders.size());
   }
-  const std::optional<Bytes>& regular_output(int slot) const {
-    return regular_[static_cast<std::size_t>(slot)];
+  int slots() const { return slots(0); }
+  int sender(int group, int slot) const {
+    return groups_[static_cast<std::size_t>(group)].senders[static_cast<std::size_t>(slot)];
   }
-  const std::optional<Bytes>& output(int slot) const {
-    return current_[static_cast<std::size_t>(slot)];
+  int sender(int slot) const { return sender(0, slot); }
+  Tick start_time(int group) const { return groups_[static_cast<std::size_t>(group)].start; }
+  Tick start_time() const { return start_time(0); }
+  bool regular_decided(int group, int slot) const {
+    return groups_[static_cast<std::size_t>(group)].regular_done[static_cast<std::size_t>(slot)] !=
+           0;
   }
+  bool regular_decided(int slot) const { return regular_decided(0, slot); }
+  /// Outputs materialize by value out of the Acast bank's shared intern
+  /// table — per party the bank stores one vid per slot, not the bytes.
+  std::optional<Bytes> regular_output(int group, int slot) const {
+    return materialize(
+        groups_[static_cast<std::size_t>(group)].regular[static_cast<std::size_t>(slot)]);
+  }
+  std::optional<Bytes> regular_output(int slot) const { return regular_output(0, slot); }
+  std::optional<Bytes> output(int group, int slot) const {
+    return materialize(
+        groups_[static_cast<std::size_t>(group)].current[static_cast<std::size_t>(slot)]);
+  }
+  std::optional<Bytes> output(int slot) const { return output(0, slot); }
 
  private:
-  void decide_regular(int slot);
-  void on_acast(int slot, const Bytes& m);
+  struct GroupState {
+    std::vector<int> senders;
+    Tick start = 0;
+    Handler handler;
+    std::size_t base = 0;      // offset into the flattened (global) slot space
+    int sba = 0;               // SBA schedule (partition) index
+    std::size_t sba_base = 0;  // offset into that schedule's slot space
+    std::vector<char> regular_done;
+    /// Acast-space vids (AcastShared::kNoVid = ⊥/none): the regular-mode
+    /// output and the current (post-fallback) output per slot.
+    std::vector<std::uint32_t> regular, current;
+  };
+
+  std::optional<Bytes> materialize(std::uint32_t vid) const;
+
+  int group_of(std::size_t global_slot) const;
+  void decide_regular(int group, int slot);
+  void on_acast(int global_slot, const Bytes& m);
+  std::uint32_t wrap_vid(int part, std::uint32_t acast_vid);
 
   Party& party_;
-  std::vector<int> senders_;
   Ctx ctx_;
-  Tick start_;
-  Handler handler_;
+  std::vector<GroupState> groups_;
+  std::vector<std::size_t> bases_;  // groups_[g].base, for global->group lookup
   std::unique_ptr<AcastBank> acast_;
-  std::unique_ptr<SbaBank> sba_;
-  std::vector<char> regular_done_;
-  std::vector<std::optional<Bytes>> regular_, current_;
+  /// One SBA schedule per distinct group start, in first-appearance order;
+  /// part_slots_[p][local] = global slot.
+  std::vector<std::unique_ptr<SbaBank>> sbas_;
+  std::vector<std::vector<std::size_t>> part_slots_;
+  /// Per partition: Acast-space vid -> wrapped SBA-space vid memo.
+  std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> wrap_vids_;
 };
 
 }  // namespace bobw

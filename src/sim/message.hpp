@@ -44,6 +44,13 @@ class Payload {
     return *data_;
   }
 
+  /// Identity of the shared buffer: every in-flight copy of one send_all
+  /// fan-out (and every re-broadcast that shared the payload) returns the
+  /// same pointer. Decode caches key on `.get()` and must RETAIN the
+  /// returned shared_ptr for as long as the cache entry lives, so the
+  /// address cannot be recycled by a later allocation.
+  std::shared_ptr<const Bytes> data() const { return data_; }
+
   friend bool operator==(const Payload& a, const Payload& b) { return *a.data_ == *b.data_; }
   friend bool operator==(const Payload& a, const Bytes& b) { return *a.data_ == b; }
   friend bool operator==(const Bytes& a, const Payload& b) { return a == *b.data_; }

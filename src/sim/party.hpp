@@ -9,8 +9,11 @@
 // "from the future" of their local schedule).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -132,6 +135,40 @@ class Sim {
   /// True if party i is honest under the configured adversary.
   bool honest(int i) const;
 
+  /// Aggregate hit/miss counters for the cross-party decode caches (bank
+  /// shared state, src/bcast/bank_shared.*). Atomics: window-executor worker
+  /// threads bump these concurrently.
+  struct DecodeCacheStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+  DecodeCacheStats& decode_cache_stats() { return cache_stats_; }
+
+  /// Cross-party shared-state registry. Protocol instances with the same
+  /// hierarchical id on different parties are views of ONE logical protocol
+  /// object; state whose content is a pure function of received payloads
+  /// (decode caches, value intern tables) can therefore be computed once per
+  /// Sim and shared. `make` runs only for the first caller of a key. The
+  /// returned object must do its own internal locking: window-executor
+  /// worker threads reach it concurrently.
+  std::shared_ptr<void> shared_state(const std::string& key,
+                                     const std::function<std::shared_ptr<void>()>& make) {
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    auto& slot = shared_[key];
+    if (!slot) slot = make();
+    return slot;
+  }
+
+  /// Registered shared-state keys, insertion-order-free snapshot (bench
+  /// introspection: counting the banks serving one sharing).
+  std::vector<std::string> shared_state_keys() const {
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    std::vector<std::string> keys;
+    keys.reserve(shared_.size());
+    for (const auto& [k, v] : shared_) keys.push_back(k);
+    return keys;
+  }
+
  private:
   friend class WindowExecutor;
   /// Executor-only: hand a delivery straight to its destination party
@@ -152,6 +189,9 @@ class Sim {
   std::optional<std::uint64_t> adv_epoch_;
   std::vector<std::unique_ptr<Party>> parties_;
   std::unique_ptr<WindowExecutor> exec_;  // non-null iff threads > 1
+  mutable std::mutex shared_mu_;
+  std::unordered_map<std::string, std::shared_ptr<void>> shared_;
+  DecodeCacheStats cache_stats_;
 };
 
 }  // namespace bobw

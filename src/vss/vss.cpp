@@ -19,7 +19,30 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
   wsh_.resize(static_cast<std::size_t>(nn));
   verdict_broadcast_.assign(static_cast<std::size_t>(nn), 0);
 
-  // Second layer: one ΠWPS per party, scheduled at B+Δ.
+  // One mega-bank for the whole sharing's 3-D ok-verdict space
+  // (child, i, j): groups 0..n-1 are the n child-ΠWPS grids (start B+3Δ =
+  // child base + 2Δ, so they share one SBA schedule), group n is the
+  // dealer's own grid at B+Δ+T_WPS. The handlers fire only during the run,
+  // after the children below exist.
+  const Tick ok_start = base_ + ctx_.delta + ctx_.T.t_wps;
+  std::vector<int> grid(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
+  for (int i = 0; i < nn; ++i)
+    for (int j = 0; j < nn; ++j) grid[static_cast<std::size_t>(i * nn + j)] = i;
+  std::vector<BcBank::Group> groups;
+  groups.reserve(static_cast<std::size_t>(nn) + 1);
+  for (int j = 0; j < nn; ++j) {
+    groups.push_back({grid, base_ + 3 * ctx_.delta,
+                      [this, j](int slot, const std::optional<Bytes>& v, bool fb) {
+                        wps_[static_cast<std::size_t>(j)]->on_verdict(slot, v, fb);
+                      }});
+  }
+  groups.push_back({grid, ok_start, [this](int slot, const std::optional<Bytes>& v, bool fb) {
+                      on_verdict(slot, v, fb);
+                    }});
+  ok_bank_ = std::make_unique<BcBank>(party_, sub_id(this->id(), "ok"), std::move(groups), ctx_);
+
+  // Second layer: one ΠWPS per party, scheduled at B+Δ, each sending its
+  // verdicts through its group of the shared bank.
   wps_.resize(static_cast<std::size_t>(nn));
   for (int j = 0; j < nn; ++j) {
     wps_[static_cast<std::size_t>(j)] = std::make_unique<Wps>(
@@ -27,16 +50,9 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
         [this, j](const std::vector<Fp>& sh) {
           wsh_[static_cast<std::size_t>(j)] = sh;
           on_wps_share(j);
-        });
+        },
+        ok_bank_.get(), j);
   }
-
-  const Tick ok_start = base_ + ctx_.delta + ctx_.T.t_wps;
-  std::vector<int> senders(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
-  for (int i = 0; i < nn; ++i)
-    for (int j = 0; j < nn; ++j) senders[static_cast<std::size_t>(i * nn + j)] = i;
-  ok_bank_ = std::make_unique<BcBank>(
-      party_, sub_id(this->id(), "ok"), std::move(senders), ctx_, ok_start,
-      [this](int slot, const std::optional<Bytes>& v, bool fb) { on_verdict(slot, v, fb); });
 
   wef_bc_ = std::make_unique<Bc>(
       party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
@@ -226,7 +242,7 @@ void Vss::maybe_broadcast_verdict(int j) {
         break;
       }
     }
-    ok_bank_->broadcast(self() * n() + j, wire::encode_verdict(v));
+    ok_bank_->broadcast(n(), self() * n() + j, wire::encode_verdict(v));
   });
 }
 

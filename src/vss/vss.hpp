@@ -106,7 +106,11 @@ class Vss : public Instance {
   VerdictState verdicts_;
   std::vector<char> verdict_broadcast_;
 
-  // The n² ok-verdict broadcasts ride one slot-multiplexed bank.
+  // The whole sharing's (n+1)·n² ok-verdict broadcasts — all n child-ΠWPS
+  // grids plus the dealer grid — ride ONE slot-multiplexed mega-bank: one
+  // Acast coalescing window and two SBA schedules (children share a start;
+  // the dealer grid starts T_WPS−2Δ later). Group j < n belongs to child j,
+  // group n is the dealer grid.
   std::unique_ptr<BcBank> ok_bank_;
   std::unique_ptr<Bc> wef_bc_, star2_bc_;
   std::unique_ptr<Ba> ba_;

@@ -5,7 +5,7 @@
 namespace bobw {
 
 Wps::Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
-         Tick base, Handler on_shares)
+         Tick base, Handler on_shares, BcBank* ok_bank, int ok_group)
     : Instance(party, std::move(id)),
       dealer_(dealer),
       L_(L),
@@ -18,14 +18,21 @@ Wps::Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
   verdict_broadcast_.assign(static_cast<std::size_t>(nn), 0);
 
   // One ΠBC slot per ordered pair (slot i*n+j: Pi broadcasts its verdict on
-  // Pj), multiplexed over one shared broadcast bank.
+  // Pj), multiplexed over one shared broadcast bank. A parent protocol may
+  // hand us a group of its own mega-bank instead; it owns the handler wiring.
   const Tick ok_start = base_ + 2 * ctx_.delta;
-  std::vector<int> senders(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
-  for (int i = 0; i < nn; ++i)
-    for (int j = 0; j < nn; ++j) senders[static_cast<std::size_t>(i * nn + j)] = i;
-  ok_bank_ = std::make_unique<BcBank>(
-      party_, sub_id(this->id(), "ok"), std::move(senders), ctx_, ok_start,
-      [this](int slot, const std::optional<Bytes>& v, bool fb) { on_verdict(slot, v, fb); });
+  if (ok_bank) {
+    ok_ = ok_bank;
+    ok_group_ = ok_group;
+  } else {
+    std::vector<int> senders(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
+    for (int i = 0; i < nn; ++i)
+      for (int j = 0; j < nn; ++j) senders[static_cast<std::size_t>(i * nn + j)] = i;
+    ok_bank_ = std::make_unique<BcBank>(
+        party_, sub_id(this->id(), "ok"), std::move(senders), ctx_, ok_start,
+        [this](int slot, const std::optional<Bytes>& v, bool fb) { on_verdict(slot, v, fb); });
+    ok_ = ok_bank_.get();
+  }
 
   wef_bc_ = std::make_unique<Bc>(
       party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
@@ -213,7 +220,7 @@ void Wps::maybe_broadcast_verdict(int j) {
         break;  // least failing index
       }
     }
-    ok_bank_->broadcast(self() * n() + j, wire::encode_verdict(v));
+    ok_->broadcast(ok_group_, self() * n() + j, wire::encode_verdict(v));
   });
 }
 

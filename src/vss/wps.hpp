@@ -41,8 +41,19 @@ class Wps : public Instance {
   /// Fires once, with the L wps-shares of this party.
   using Handler = std::function<void(const std::vector<Fp>&)>;
 
+  /// Standalone: the instance builds its own ok-verdict BcBank. When a
+  /// parent protocol multiplexes many ΠWPS grids over one shared mega-bank
+  /// (ΠVSS: all n child grids plus the dealer grid of one sharing), it
+  /// passes `ok_bank`/`ok_group` instead and installs a group handler that
+  /// forwards into on_verdict(); the child then only *sends* through the
+  /// shared bank. The grid schedule is unchanged either way: verdicts
+  /// broadcast at T0 = base+2Δ.
   Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
-      Tick base, Handler on_shares);
+      Tick base, Handler on_shares, BcBank* ok_bank = nullptr, int ok_group = 0);
+
+  /// ΠBC verdict delivery for slot i*n+j (Pi's verdict on Pj). Public so a
+  /// parent-owned mega-bank group handler can drive this instance.
+  void on_verdict(int slot, const std::optional<Bytes>& v, bool fallback);
 
   /// Dealer-side entry: share the L degree-ts polynomials q^(ℓ)(·)
   /// (each is embedded into a fresh random symmetric bivariate polynomial).
@@ -71,7 +82,6 @@ class Wps : public Instance {
   void on_points(const Msg& m);
   void maybe_send_points();
   void maybe_broadcast_verdict(int j);
-  void on_verdict(int slot, const std::optional<Bytes>& v, bool fallback);
 
   // --- dealer ---------------------------------------------------------
   void dealer_find_wef();
@@ -111,8 +121,11 @@ class Wps : public Instance {
 
   // Sub-protocol instances. The n² ok-verdict broadcasts are one BcBank
   // (slot i*n+j = Pi's verdict on Pj, sender Pi) multiplexed over shared
-  // Acast/SBA rounds instead of n² independent ΠBC instances.
+  // Acast/SBA rounds instead of n² independent ΠBC instances. `ok_` points
+  // either at the owned standalone bank or at the parent's shared mega-bank.
   std::unique_ptr<BcBank> ok_bank_;
+  BcBank* ok_ = nullptr;
+  int ok_group_ = 0;
   std::unique_ptr<Bc> wef_bc_, star2_bc_;
   std::unique_ptr<Ba> ba_;
 

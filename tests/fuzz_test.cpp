@@ -69,7 +69,12 @@ struct Coverage {
 // and the one-line repro. Returns the report.
 ScenarioReport run_one(std::uint64_t seed, bool sabotage) {
   const Scenario s = sabotage ? sabotage_scenario(seed) : expand_scenario(seed);
-  const ScenarioReport rep = run_scenario(s);
+  // Mid-size sims get the two-phase window executor; when scenarios are
+  // already sharded across fuzz jobs each sim stays single-threaded so the
+  // machine is not oversubscribed. Reports are thread-count-invariant
+  // (FuzzSanity.RunsDeterministicAcrossThreads), so the verdict is the same.
+  const int threads = g_jobs > 1 ? 1 : (s.n >= 6 ? 2 : 1);
+  const ScenarioReport rep = run_scenario(s, threads);
   if (!rep.violations.empty()) {
     std::printf("FAIL %s\n", s.describe().c_str());
     for (const auto& v : rep.violations) std::printf("  violation: %s\n", v.c_str());
@@ -184,6 +189,21 @@ TEST(FuzzSanity, RunsDeterministic) {
     const ScenarioReport b = run_scenario(s);
     EXPECT_EQ(a.violations, b.violations) << s.describe();
     EXPECT_EQ(a.summary, b.summary) << s.describe();
+  }
+}
+
+// ... and invariant under the executor's thread count: the per-party window
+// delivery sequences are canonical, so 1-, 2- and 8-thread runs of the same
+// scenario produce byte-identical reports.
+TEST(FuzzSanity, RunsDeterministicAcrossThreads) {
+  for (std::uint64_t seed : {20260808ULL, 20260815ULL, 20260824ULL}) {
+    const Scenario s = expand_scenario(seed);
+    const ScenarioReport one = run_scenario(s, 1);
+    for (int threads : {2, 8}) {
+      const ScenarioReport rep = run_scenario(s, threads);
+      EXPECT_EQ(one.violations, rep.violations) << s.describe() << " threads " << threads;
+      EXPECT_EQ(one.summary, rep.summary) << s.describe() << " threads " << threads;
+    }
   }
 }
 

@@ -118,6 +118,60 @@ TEST(BcSweep64, CrashAdversaryHonestSenderStillDelivers) {
   }
 }
 
+// ---- pinned large-n ΠBC sweeps on the threaded executor -------------------
+//
+// The two-phase window executor must produce the SAME run at every thread
+// count, so the end tick and total message count of a synchronous ΠBC are
+// pinned constants: any scheduling or coalescing regression shows up as a
+// changed pin, any determinism regression as a cross-thread mismatch.
+// n = 256 runs the recursive-committee phase-king (⌈log₂(t+2)⌉ phases
+// instead of t+1), which is what makes the size affordable at all.
+
+struct BigBcResult {
+  Tick end = 0;
+  std::uint64_t msgs = 0;
+};
+
+BigBcResult run_big_bc(int n, int threads, BgpMode bgp) {
+  const int ts = (n - 1) / 3;
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous);
+  w.ctx = Ctx::make(n, ts, 0, 1000, w.coin.get(), bgp);
+  w.sim->set_threads(threads);
+  std::vector<std::unique_ptr<Bc>> inst(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    inst[static_cast<std::size_t>(i)] =
+        std::make_unique<Bc>(w.party(i), "bc", 0, w.ctx, 0, nullptr);
+  Bytes m{0xDE, 0xAD};
+  w.party(0).at(0, [&] { inst[0]->broadcast(m); });
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(inst[static_cast<std::size_t>(i)]->regular_output()) << n << " " << i;
+    if (auto v = inst[static_cast<std::size_t>(i)]->regular_output()) EXPECT_EQ(*v, m);
+  }
+  return {w.sim->now(), w.sim->metrics().total_msgs()};
+}
+
+TEST(BcSweepBig, N128LinearPinnedAcrossThreads) {
+  const BigBcResult t1 = run_big_bc(128, 1, BgpMode::kLinear);
+  const BigBcResult t8 = run_big_bc(128, 8, BgpMode::kLinear);
+  EXPECT_EQ(t1.end, t8.end);
+  EXPECT_EQ(t1.msgs, t8.msgs);
+  // 43 linear phases: T_BC = 3Δ + 3·43·Δ = 132Δ.
+  EXPECT_EQ(t1.end, Tick{132000});
+  EXPECT_EQ(t1.msgs, std::uint64_t{1447424});
+}
+
+TEST(BcSweepBig, N256CommitteePinnedAcrossThreads) {
+  const BigBcResult t2 = run_big_bc(256, 2, BgpMode::kCommittee);
+  const BigBcResult t8 = run_big_bc(256, 8, BgpMode::kCommittee);
+  EXPECT_EQ(t2.end, t8.end);
+  EXPECT_EQ(t2.msgs, t8.msgs);
+  // ⌈log₂(85+2)⌉ = 7 committee phases: T_BC = 3Δ + 3·7·Δ = 24Δ — 5.5×
+  // shorter than the 258Δ the linear schedule would take at this size.
+  EXPECT_EQ(t2.end, Tick{24000});
+  EXPECT_EQ(t2.msgs, std::uint64_t{1081344});
+}
+
 // ---- production-scale sweep: ΠWPS / ΠVSS at n = 32 ------------------------
 //
 // The ok-verdict grid at n = 32 is 1024 ΠBC slots; before the broadcast bank
@@ -169,6 +223,45 @@ TEST(VssSweep32, HonestDealerSharesAtDeadline) {
     EXPECT_LE(*done[static_cast<std::size_t>(i)], w.ctx.T.t_vss) << i;
     EXPECT_EQ(inst[static_cast<std::size_t>(i)]->shares()[0], q.eval(alpha(i))) << i;
   }
+}
+
+// ---- production-scale sweep: ΠVSS at n = 64 -------------------------------
+//
+// The sharing that motivated the mega-bank: 65 ok-verdict grids (4096 slots
+// each) ride one shared Acast window and two SBA schedules, and the
+// recursive-committee phase-king collapses every BGP from t+1 = 22 phases to
+// ⌈log₂(t+2)⌉ = 5. Wall-clock is gated in bench/bench_vss_latency
+// (vss_wall_ms_n64, single-digit seconds Release); this test pins the
+// protocol outcome at that size on the threaded executor.
+
+TEST(VssSweep64, CommitteeModeHonestDealerSharesAtDeadline) {
+  const int n = 64, ts = (n - 1) / 3;
+  auto w = make_world(n, ts, 0, NetMode::kSynchronous);
+  w.ctx = Ctx::make(n, ts, 0, 1000, w.coin.get(), BgpMode::kCommittee);
+  w.sim->set_threads(4);
+  std::vector<std::unique_ptr<Vss>> inst(static_cast<std::size_t>(n));
+  std::vector<std::optional<Tick>> done(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& slot = done[static_cast<std::size_t>(i)];
+    auto* world = &w;
+    inst[static_cast<std::size_t>(i)] = std::make_unique<Vss>(
+        w.party(i), "vss", 0, 1, w.ctx, 0,
+        [&slot, world](const std::vector<Fp>&) { slot = world->sim->now(); });
+  }
+  Rng rng(11);
+  Poly q = Poly::random(ts, rng);
+  w.party(0).at(0, [&] { inst[0]->deal({q}); });
+  w.sim->run();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(done[static_cast<std::size_t>(i)]) << i;
+    EXPECT_LE(*done[static_cast<std::size_t>(i)], w.ctx.T.t_vss) << i;
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->shares()[0], q.eval(alpha(i))) << i;
+  }
+  // One sharing, one shared ok-verdict Acast state (the mega-bank), not 65.
+  int ok_banks = 0;
+  for (const auto& k : w.sim->shared_state_keys())
+    if (k.rfind("acast|", 0) == 0 && k.find("/ok/") != std::string::npos) ++ok_banks;
+  EXPECT_EQ(ok_banks, 1);
 }
 
 // ---- Reconstruct over batch sizes and thresholds --------------------------

@@ -160,6 +160,25 @@ TEST(Vss, SyncHonestDealerCorrectnessByTvss) {
   }
 }
 
+TEST(Vss, OneSharedOkBankPerSharing) {
+  // Transport shape of the mega-bank: the whole 3-D ok-verdict space
+  // (n child grids + the dealer grid) of one sharing rides ONE shared Acast
+  // state. The per-child wiring (bench/legacy_vssbank.hpp) would register
+  // n+1 — one "…/wps<j>/ok/acast" per child plus "…/ok/acast".
+  const int n = 4, ts = 1, ta = 0, L = 1;
+  auto w = make_world(n, ts, ta, NetMode::kSynchronous);
+  VssRun run(w, 0, L, 0);
+  Rng rng(3);
+  auto qs = random_inputs(L, ts, rng);
+  w.party(0).at(0, [&] { run.inst[0]->deal(qs); });
+  w.sim->run();
+  int ok_banks = 0;
+  for (const auto& k : w.sim->shared_state_keys())
+    if (k.rfind("acast|", 0) == 0 && k.find("/ok/") != std::string::npos) ++ok_banks;
+  EXPECT_EQ(ok_banks, 1);
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->has_output());
+}
+
 TEST(Vss, AsyncHonestDealerEventualCorrectness) {
   const int n = 5, ts = 1, ta = 1, L = 1;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
