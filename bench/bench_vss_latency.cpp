@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bench/legacy_vssbank.hpp"
+#include "bench/legacy_vssplanes.hpp"
 #include "src/bcast/bc_bank.hpp"
 #include "src/vss/vss.hpp"
 
@@ -55,13 +56,16 @@ Sample run_vss(int n, NetMode mode, Tick dealer_delay, std::uint64_t seed, int L
 }
 
 /// One full ΠVSS sharing at production scale, with the executor thread count
-/// and phase-king schedule under test. Also reports the mega-bank shape: how
-/// many shared ok-verdict Acast states one sharing registered (the
-/// per-child wiring would pay n+1) and the decode-cache hit rate.
+/// and phase-king schedule under test. Also reports the schedule-plane
+/// shape: how many shared Acast states and SBA schedules one sharing
+/// registered (the per-child wiring would pay 3n+4 and 3n+5), the total
+/// honest message count and the decode-cache hit rate.
 struct BigSample {
   double wall_ms = 0;
   int outputs = 0;
-  int ok_banks = 0;
+  int plane_acasts = 0;
+  int sba_schedules = 0;
+  double msgs = 0;
   double decode_hit_rate = 0;
 };
 
@@ -86,8 +90,11 @@ BigSample run_vss_big(int n, BgpMode bgp, int threads, std::uint64_t seed) {
   BigSample s;
   s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   for (char f : done) s.outputs += f;
-  for (const auto& k : w.sim->shared_state_keys())
-    if (k.rfind("acast|", 0) == 0 && k.find("/ok/") != std::string::npos) ++s.ok_banks;
+  for (const auto& k : w.sim->shared_state_keys()) {
+    if (k.rfind("acast|", 0) == 0 && k.find("/plane/") != std::string::npos) ++s.plane_acasts;
+    if (k.rfind("sba|", 0) == 0 && k.find("/plane/") != std::string::npos) ++s.sba_schedules;
+  }
+  s.msgs = static_cast<double>(w.sim->metrics().honest_msgs());
   const auto& cs = w.sim->decode_cache_stats();
   const double hits = static_cast<double>(cs.hits.load());
   const double misses = static_cast<double>(cs.misses.load());
@@ -138,6 +145,68 @@ double run_ok_transport(int n, bool mega, std::uint64_t seed) {
     w.party(i).at(dealer_start, [bcast, i, n] {
       for (int j = 0; j < n; ++j) bcast(n, i * n + j);
     });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  w.sim->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Transport-only same-binary comparison over EVERY broadcast/BA layer of a
+/// sharing: the full plane traffic — ok grids, per-child and ΠVSS wef/★₂
+/// broadcasts, ΠBA input bits — through the 4n+4-group schedule plane (one
+/// Acast window, seven SBA schedules) vs the frozen PR 9 per-child wiring
+/// (3n+4 Acast windows, 3n+5 SBA schedules, bench/legacy_vssplanes.hpp).
+/// Identical bytes, identical Ctx; the quotient is the schedule-sharing win.
+double run_plane_transport(int n, bool shared, std::uint64_t seed) {
+  const int ts = (n - 1) / 3;
+  auto w = bench::make_world(n, ts, 0, NetMode::kSynchronous, nullptr, seed);
+  const Ctx& ctx = w.ctx;
+  const Tick child_ok = 3 * ctx.delta;
+  const Tick child_wef = child_ok + ctx.T.t_bc;
+  const Tick child_accept = child_ok + 2 * ctx.T.t_bc;
+  const Tick child_star2 = child_accept + ctx.T.t_ba;
+  const Tick ok_start = ctx.delta + ctx.T.t_wps;
+  const Tick accept_time = ok_start + 2 * ctx.T.t_bc;
+  std::vector<std::unique_ptr<BcBank>> planes(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<legacyvss::Planes>> legacy(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (shared) {
+      planes[static_cast<std::size_t>(i)] = std::make_unique<BcBank>(
+          w.party(i), "vss/plane",
+          planelayout::sharing_plane_groups(n, /*dealer=*/0, /*vss_base=*/0, ctx, nullptr), ctx);
+    } else {
+      legacy[static_cast<std::size_t>(i)] =
+          std::make_unique<legacyvss::Planes>(w.party(i), "vss", /*dealer=*/0, ctx, 0, nullptr);
+    }
+  }
+  const Bytes ok{0x01};        // verdicts / BA bits: the common honest case
+  const Bytes star{0x02, 0x7F};  // stands in for an encoded (W,E,F)
+  for (int i = 0; i < n; ++i) {
+    auto bcast = [&, i](int g, int s, const Bytes& m) {
+      if (shared)
+        planes[static_cast<std::size_t>(i)]->broadcast(g, s, m);
+      else
+        legacy[static_cast<std::size_t>(i)]->broadcast(g, s, m);
+    };
+    w.party(i).at(child_ok, [bcast, i, n, &ok] {
+      for (int g = 0; g < n; ++g)
+        for (int j = 0; j < n; ++j) bcast(g, i * n + j, ok);
+    });
+    w.party(i).at(child_wef, [bcast, i, n, &star] { bcast(n + 1 + i, 0, star); });
+    w.party(i).at(child_accept, [bcast, i, n, &ok] {
+      for (int g = 0; g < n; ++g) bcast(2 * n + 1 + g, i, ok);
+    });
+    w.party(i).at(child_star2, [bcast, i, n, &star] { bcast(3 * n + 1 + i, 0, star); });
+    w.party(i).at(ok_start, [bcast, i, n, &ok] {
+      for (int j = 0; j < n; ++j) bcast(n, i * n + j, ok);
+    });
+    if (i == 0) {
+      w.party(i).at(ok_start + ctx.T.t_bc, [bcast, n, &star] { bcast(4 * n + 1, 0, star); });
+      w.party(i).at(accept_time + ctx.T.t_ba,
+                    [bcast, n, &star] { bcast(4 * n + 3, 0, star); });
+    }
+    w.party(i).at(accept_time, [bcast, i, n, &ok] { bcast(4 * n + 2, i, ok); });
   }
   const auto t0 = std::chrono::steady_clock::now();
   w.sim->run();
@@ -201,21 +270,28 @@ int main(int argc, char** argv) {
   // configuration — the single-digit-seconds target; the linear run shows
   // the schedule cost it removes. Thread count 1 keeps the cache-rate
   // metric deterministic.
-  std::printf("\nn = 64 sharing (sync, honest dealer) — the VSS mega-bank\n");
+  std::printf("\nn = 64 sharing (sync, honest dealer) — the VSS schedule plane\n");
   bench::rule();
-  std::printf("%10s | %10s | %8s | %9s | %10s\n", "phase-king", "wall ms", "outputs",
-              "ok banks", "cache hit");
+  std::printf("%10s | %10s | %8s | %7s | %9s | %10s | %10s\n", "phase-king", "wall ms",
+              "outputs", "acasts", "SBA scheds", "msgs", "cache hit");
   bench::rule();
   const BigSample committee = run_vss_big(64, BgpMode::kCommittee, 1, 5);
   const BigSample linear = run_vss_big(64, BgpMode::kLinear, 1, 5);
-  std::printf("%10s | %10.0f | %8d | %9d | %9.1f%%\n", "committee", committee.wall_ms,
-              committee.outputs, committee.ok_banks, 100 * committee.decode_hit_rate);
-  std::printf("%10s | %10.0f | %8d | %9d | %9.1f%%\n", "linear", linear.wall_ms,
-              linear.outputs, linear.ok_banks, 100 * linear.decode_hit_rate);
+  std::printf("%10s | %10.0f | %8d | %7d | %9d | %10.3g | %9.1f%%\n", "committee",
+              committee.wall_ms, committee.outputs, committee.plane_acasts,
+              committee.sba_schedules, committee.msgs, 100 * committee.decode_hit_rate);
+  std::printf("%10s | %10.0f | %8d | %7d | %9d | %10.3g | %9.1f%%\n", "linear", linear.wall_ms,
+              linear.outputs, linear.plane_acasts, linear.sba_schedules, linear.msgs,
+              100 * linear.decode_hit_rate);
   bench::rule();
   metrics.push_back({"vss_wall_ms_n64", committee.wall_ms});
   metrics.push_back({"vss_wall_ms_n64_linear", linear.wall_ms});
-  metrics.push_back({"vss_n64_ok_banks_delta", static_cast<double>(committee.ok_banks)});
+  metrics.push_back({"vss_n64_ok_banks_delta", static_cast<double>(committee.plane_acasts)});
+  // Structural count, pinned EXACTLY in CI (--pin): one SBA schedule per
+  // distinct layer start time of a sharing — seven, independent of n. The
+  // per-child wiring paid 3n+5 = 197.
+  metrics.push_back({"vss_n64_sba_schedules", static_cast<double>(committee.sba_schedules)});
+  metrics.push_back({"vss_n64_msgs_per_sharing", committee.msgs});
   metrics.push_back({"vss_n64_decode_hit_rate", committee.decode_hit_rate});
 
   // Same-binary transport quotient: the sharing's ok-verdict traffic through
@@ -228,6 +304,18 @@ int main(int argc, char** argv) {
   std::printf("ok-verdict transport n = 64: mega %.0f ms, per-child %.0f ms — %.1fx\n",
               mega_ms, legacy_ms, speedup);
   metrics.push_back({"vss_n64_speedup", speedup});
+
+  // Schedule-sharing v2 quotient: the SAME all-layers traffic — ok grids,
+  // wef/★₂ stars, BA bits — through the 4n+4-group plane (1 Acast window,
+  // 7 SBA schedules) vs the frozen PR 9 per-child wiring (3n+4 and 3n+5,
+  // bench/legacy_vssplanes.hpp). Single-threaded, so the floor holds on
+  // 1-core CI hosts too.
+  const double plane_ms = run_plane_transport(64, /*shared=*/true, 7);
+  const double perchild_ms = run_plane_transport(64, /*shared=*/false, 7);
+  const double sched_speedup = plane_ms > 0 ? perchild_ms / plane_ms : 0;
+  std::printf("all-layers transport n = 64: plane %.0f ms, per-child %.0f ms — %.1fx\n",
+              plane_ms, perchild_ms, sched_speedup);
+  metrics.push_back({"vss_n64_sched_share_speedup", sched_speedup});
 
   if (!json_path.empty()) bench::emit_json_section(json_path, "vss_latency", metrics);
   return 0;

@@ -3,8 +3,8 @@
 
 Usage:
   compare_bench.py BASELINE.json NEW.json [--max-regression 0.25]
-                   [--floor SECTION.METRIC=VALUE]... [--speedup-regression F]
-                   [--include-ns]
+                   [--floor SECTION.METRIC=VALUE]... [--pin SECTION.METRIC=VALUE]...
+                   [--speedup-regression F] [--include-ns] [--single-core]
 
 Metrics present in BOTH files ("shared metrics") are diffed; metrics new in
 NEW.json are listed informationally. What actually *gates* (fails the run)
@@ -42,12 +42,24 @@ depends on the metric class, inferred from its name:
                        same-binary *_speedup ratio (see
                        bench/legacy_msgplane.hpp), gated with --floor.
 
-Exit status: 0 if no gated metric regressed or broke a floor, 1 otherwise
-(also 1 on missing/malformed input files or a malformed --floor).
+--pin gates a metric in NEW.json on EXACT equality (machine-independent
+structural counts, e.g. SBA schedules per sharing: any drift is a protocol
+wiring change, not noise).
+
+Multi-thread speedups (`*_mt_*_speedup`) are meaningless on a 1-core host:
+the thread pool just adds contention, so the "ratio" records scheduler noise,
+not the executor. With --single-core (or when os.cpu_count() == 1, detected
+automatically) their floors are downgraded to informational so committed
+1-core BENCH_*.json files stop failing — and stop pretending to measure —
+them. CI runners are multi-core, so the hard >=2x gate still runs there.
+
+Exit status: 0 if no gated metric regressed or broke a floor/pin, 1 otherwise
+(also 1 on missing/malformed input files or a malformed --floor/--pin).
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -82,6 +94,12 @@ def main():
     ap.add_argument("--floor", action="append", default=[], metavar="SECTION.METRIC=VALUE",
                     help="absolute minimum for a metric in NEW.json (repeatable); "
                          "the machine-portable gate for *_speedup ratios")
+    ap.add_argument("--pin", action="append", default=[], metavar="SECTION.METRIC=VALUE",
+                    help="exact required value for a metric in NEW.json (repeatable); "
+                         "for machine-independent structural counts")
+    ap.add_argument("--single-core", action="store_true",
+                    help="downgrade *_mt_*_speedup floors to informational "
+                         "(auto-enabled when os.cpu_count() == 1)")
     ap.add_argument("--speedup-regression", type=float, default=None,
                     help="also gate *_speedup metrics relative to the baseline "
                          "(same-machine diffs only; off by default — see docstring)")
@@ -89,16 +107,30 @@ def main():
                     help="also gate raw *_ns/*_ms timings (same-machine diffs only)")
     args = ap.parse_args()
 
-    floors = {}
-    for spec in args.floor:
-        name, sep, value = spec.partition("=")
-        try:
-            if not sep:
-                raise ValueError("missing '='")
-            floors[name] = float(value)
-        except ValueError as e:
-            print(f"compare_bench: bad --floor '{spec}': {e}", file=sys.stderr)
-            return 1
+    def parse_specs(specs, flag):
+        out = {}
+        for spec in specs:
+            name, sep, value = spec.partition("=")
+            try:
+                if not sep:
+                    raise ValueError("missing '='")
+                out[name] = float(value)
+            except ValueError as e:
+                print(f"compare_bench: bad {flag} '{spec}': {e}", file=sys.stderr)
+                return None
+        return out
+
+    floors = parse_specs(args.floor, "--floor")
+    pins = parse_specs(args.pin, "--pin")
+    if floors is None or pins is None:
+        return 1
+
+    single_core = args.single_core or os.cpu_count() == 1
+    if single_core:
+        print("compare_bench: 1-core host — *_mt_*_speedup floors are informational")
+
+    def mt_metric(name):
+        return name.endswith("_speedup") and "_mt_" in name
 
     try:
         with open(args.baseline) as f:
@@ -114,10 +146,18 @@ def main():
     failures = []
 
     def floor_verdict(name):
-        """Apply an absolute floor to NEW's value; None if no floor is set."""
+        """Apply an absolute floor / exact pin to NEW's value; None if neither set."""
+        if name in pins:
+            want = pins[name]
+            if new[name] != want:
+                failures.append(name)
+                return f"PIN MISMATCH (want {want:g})"
+            return f"ok (pinned {want:g})"
         if name not in floors:
             return None
         if new[name] < floors[name]:
+            if single_core and mt_metric(name):
+                return f"below floor {floors[name]:g} (informational: 1-core host)"
             failures.append(name)
             return f"BELOW FLOOR {floors[name]:g}"
         return f"ok (floor {floors[name]:g})"
@@ -128,7 +168,9 @@ def main():
         direction, kind = classify(name)
         change = (n - b) / b if b else 0.0
         regressed_by = -direction * change  # movement against the good direction
-        if kind == "raw-time" and not args.include_ns:
+        if name in pins:
+            verdict = floor_verdict(name)
+        elif kind == "raw-time" and not args.include_ns:
             verdict = "skipped (raw timing; cross-machine)"
         elif kind == "speedup":
             verdict = floor_verdict(name)
@@ -148,16 +190,20 @@ def main():
     for name in fresh:
         verdict = floor_verdict(name) or "(no baseline)"
         print(f"{name:52s} {'-':>12s} {new[name]:12.4g} {'new':>8s}  {verdict}")
-    for name in sorted(set(floors) - set(new)):
+    for name in sorted((set(floors) | set(pins)) - set(new)):
+        if single_core and mt_metric(name):
+            print(f"{name:52s} {'-':>12s} {'absent':>12s} {'':8s}  "
+                  "not emitted on a 1-core host (informational)")
+            continue
         failures.append(name)
-        print(f"{name:52s} {'-':>12s} {'MISSING':>12s} {'':8s}  floored metric absent from NEW")
+        print(f"{name:52s} {'-':>12s} {'MISSING':>12s} {'':8s}  gated metric absent from NEW")
 
     if failures:
         print(f"\ncompare_bench: {len(failures)} metric(s) failed: "
               + ", ".join(sorted(set(failures))), file=sys.stderr)
         return 1
     print(f"\ncompare_bench: {len(shared)} shared metric(s) ok, {len(fresh)} new, "
-          f"{len(floors)} floor(s) held.")
+          f"{len(floors)} floor(s) and {len(pins)} pin(s) held.")
     return 0
 
 

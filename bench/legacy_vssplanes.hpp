@@ -1,0 +1,204 @@
+// Frozen copy of the PR 9 per-child broadcast wiring of one ΠVSS sharing —
+// the (n+1)-group ok mega-bank plus a private wef-ΠBC, ★₂-ΠBC and ΠBA input
+// bank per child ΠWPS (and for ΠVSS itself) — kept for same-binary
+// differential tests and bench comparison against the single 4n+4-group
+// schedule plane (the repo's legacy_vssbank idiom, extended to every layer).
+//
+// This is exactly the PR 9 layout of src/vss/vss.cpp + wps.cpp: the ok
+// verdicts already rode one mega-bank (two SBA schedules), but each child
+// Π(j)WPS still owned a standalone 1-slot Bc for the dealer's (W,E,F), a
+// 1-slot Bc for (E',F') and an n-slot BcBank for its ΠBA input bits, and
+// ΠVSS owned one more of each — 3n+5 SBA schedules per sharing. The shared
+// plane must preserve every slot's ΠBC decision bit-for-bit while collapsing
+// the transport to ONE Acast window and SEVEN SBA schedules (one per
+// distinct layer start time); the differential suite in
+// tests/bc_bank_test.cpp drives both wirings with identical traffic and
+// compares per-slot handlers, ticks and outputs. Do not "fix" or
+// consolidate anything here; it exists to stay costly the old way.
+//
+// The (group, slot) surface uses the shared plane's group numbering (see
+// sharing_plane_groups below / the table in src/vss/vss.hpp) so
+// differential drivers are interchangeable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bcast/bc.hpp"
+#include "src/bcast/bc_bank.hpp"
+#include "src/core/timing.hpp"
+
+namespace bobw {
+
+namespace planelayout {
+
+/// Group layout of one sharing's schedule plane, identical to the one
+/// src/vss/vss.cpp builds (handlers replaced by one dispatch function):
+///     0..n-1   child-ΠWPS ok grids        (n² slots, start B+3Δ)
+///     n        dealer ok grid             (n² slots, B+Δ+T_WPS)
+///     n+1+j    child j wef                (1 slot,  B+3Δ+T_BC)
+///     2n+1+j   child j ΠBA inputs         (n slots, B+3Δ+2T_BC)
+///     3n+1+j   child j ★₂                 (1 slot,  B+Δ+T_WPS)
+///     4n+1     ΠVSS wef                   (1 slot,  B+Δ+T_WPS+T_BC)
+///     4n+2     ΠVSS ΠBA inputs            (n slots, B+Δ+T_WPS+2T_BC)
+///     4n+3     ΠVSS ★₂                    (1 slot,  B+Δ+T_WPS+2T_BC+T_BA)
+/// Test/bench drivers build the plane bank from this so their differential
+/// traffic hits the exact production layout.
+inline std::vector<BcBank::Group> sharing_plane_groups(
+    int n, int dealer, Tick vss_base, const Ctx& ctx,
+    std::function<void(int group, int slot, const std::optional<Bytes>& value, bool fallback)>
+        handler) {
+  const Tick child_ok = vss_base + 3 * ctx.delta;
+  const Tick ok_start = vss_base + ctx.delta + ctx.T.t_wps;
+  const Tick accept_time = ok_start + 2 * ctx.T.t_bc;
+  std::vector<int> grid(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      grid[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(j)] = i;
+  std::vector<int> everyone(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) everyone[static_cast<std::size_t>(j)] = j;
+  auto fwd = [handler](int group) {
+    return [handler, group](int slot, const std::optional<Bytes>& v, bool fb) {
+      if (handler) handler(group, slot, v, fb);
+    };
+  };
+  std::vector<BcBank::Group> groups;
+  groups.reserve(4 * static_cast<std::size_t>(n) + 4);
+  for (int j = 0; j < n; ++j) groups.push_back({grid, child_ok, fwd(j)});
+  groups.push_back({grid, ok_start, fwd(n)});
+  for (int j = 0; j < n; ++j)
+    groups.push_back({std::vector<int>{j}, child_ok + ctx.T.t_bc, fwd(n + 1 + j)});
+  for (int j = 0; j < n; ++j)
+    groups.push_back({everyone, child_ok + 2 * ctx.T.t_bc, fwd(2 * n + 1 + j)});
+  for (int j = 0; j < n; ++j)
+    groups.push_back({std::vector<int>{j}, ok_start, fwd(3 * n + 1 + j)});
+  groups.push_back({std::vector<int>{dealer}, ok_start + ctx.T.t_bc, fwd(4 * n + 1)});
+  groups.push_back({everyone, accept_time, fwd(4 * n + 2)});
+  groups.push_back({std::vector<int>{dealer}, accept_time + ctx.T.t_ba, fwd(4 * n + 3)});
+  return groups;
+}
+
+}  // namespace planelayout
+
+namespace legacyvss {
+
+/// One party's view of one sharing's broadcast layers, PR 9 per-child
+/// wiring: the ok mega-bank plus standalone wef/★₂/BA-input banks per child
+/// and for ΠVSS itself. Same (group, slot) surface as the shared plane.
+class Planes {
+ public:
+  using Handler =
+      std::function<void(int group, int slot, const std::optional<Bytes>& value, bool fallback)>;
+
+  Planes(Party& party, const std::string& id, int dealer, const Ctx& ctx, Tick vss_base,
+         Handler handler)
+      : nn_(party.n()) {
+    const Tick child_ok = vss_base + 3 * ctx.delta;
+    const Tick child_accept = child_ok + 2 * ctx.T.t_bc;
+    const Tick ok_start = vss_base + ctx.delta + ctx.T.t_wps;
+    const Tick accept_time = ok_start + 2 * ctx.T.t_bc;
+    std::vector<int> grid(static_cast<std::size_t>(nn_) * static_cast<std::size_t>(nn_));
+    for (int i = 0; i < nn_; ++i)
+      for (int j = 0; j < nn_; ++j)
+        grid[static_cast<std::size_t>(i) * static_cast<std::size_t>(nn_) +
+             static_cast<std::size_t>(j)] = i;
+    std::vector<int> everyone(static_cast<std::size_t>(nn_));
+    for (int j = 0; j < nn_; ++j) everyone[static_cast<std::size_t>(j)] = j;
+
+    // PR 9 construction order: the (n+1)-group ok mega-bank first ...
+    std::vector<BcBank::Group> ok_groups;
+    ok_groups.reserve(static_cast<std::size_t>(nn_) + 1);
+    for (int g = 0; g <= nn_; ++g) {
+      ok_groups.push_back({grid, g < nn_ ? child_ok : ok_start,
+                           [handler, g](int slot, const std::optional<Bytes>& v, bool fb) {
+                             if (handler) handler(g, slot, v, fb);
+                           }});
+    }
+    ok_bank_ = std::make_unique<BcBank>(party, sub_id(id, "ok"), std::move(ok_groups), ctx);
+
+    // ... then each child's private wef Bc, ★₂ Bc and ΠBA input bank, in
+    // child order (matching the Wps constructor's member order) ...
+    wef_.reserve(static_cast<std::size_t>(nn_) + 1);
+    star2_.reserve(static_cast<std::size_t>(nn_) + 1);
+    ba_.reserve(static_cast<std::size_t>(nn_) + 1);
+    for (int j = 0; j < nn_; ++j) {
+      const std::string cid = sub_id(id, "wps:" + std::to_string(j));
+      wef_.push_back(std::make_unique<Bc>(
+          party, sub_id(cid, "wef"), j, ctx, child_ok + ctx.T.t_bc,
+          [handler, this, j](const std::optional<Bytes>& v, bool fb) {
+            if (handler) handler(nn_ + 1 + j, 0, v, fb);
+          }));
+      star2_.push_back(std::make_unique<Bc>(
+          party, sub_id(cid, "star2"), j, ctx, child_accept + ctx.T.t_ba,
+          [handler, this, j](const std::optional<Bytes>& v, bool fb) {
+            if (handler) handler(3 * nn_ + 1 + j, 0, v, fb);
+          }));
+      ba_.push_back(std::make_unique<BcBank>(
+          party, sub_id(sub_id(cid, "ba"), "bc"), everyone, ctx, child_accept,
+          [handler, this, j](int slot, const std::optional<Bytes>& v, bool fb) {
+            if (handler) handler(2 * nn_ + 1 + j, slot, v, fb);
+          }));
+    }
+
+    // ... then ΠVSS's own wef/★₂/BA layers (the Vss constructor's tail).
+    wef_.push_back(std::make_unique<Bc>(
+        party, sub_id(id, "wef"), dealer, ctx, ok_start + ctx.T.t_bc,
+        [handler, this](const std::optional<Bytes>& v, bool fb) {
+          if (handler) handler(4 * nn_ + 1, 0, v, fb);
+        }));
+    star2_.push_back(std::make_unique<Bc>(
+        party, sub_id(id, "star2"), dealer, ctx, accept_time + ctx.T.t_ba,
+        [handler, this](const std::optional<Bytes>& v, bool fb) {
+          if (handler) handler(4 * nn_ + 3, 0, v, fb);
+        }));
+    ba_.push_back(std::make_unique<BcBank>(
+        party, sub_id(sub_id(id, "ba"), "bc"), everyone, ctx, accept_time,
+        [handler, this](int slot, const std::optional<Bytes>& v, bool fb) {
+          if (handler) handler(4 * nn_ + 2, slot, v, fb);
+        }));
+  }
+
+  void broadcast(int group, int slot, const Bytes& m) {
+    if (group <= nn_) {
+      ok_bank_->broadcast(group, slot, m);
+    } else if (group <= 2 * nn_) {
+      wef_[static_cast<std::size_t>(group - nn_ - 1)]->broadcast(m);
+    } else if (group <= 3 * nn_) {
+      ba_[static_cast<std::size_t>(group - 2 * nn_ - 1)]->broadcast(slot, m);
+    } else if (group <= 4 * nn_) {
+      star2_[static_cast<std::size_t>(group - 3 * nn_ - 1)]->broadcast(m);
+    } else if (group == 4 * nn_ + 1) {
+      wef_[static_cast<std::size_t>(nn_)]->broadcast(m);
+    } else if (group == 4 * nn_ + 2) {
+      ba_[static_cast<std::size_t>(nn_)]->broadcast(slot, m);
+    } else {
+      star2_[static_cast<std::size_t>(nn_)]->broadcast(m);
+    }
+  }
+
+  std::optional<Bytes> output(int group, int slot) const {
+    if (group <= nn_) return ok_bank_->output(group, slot);
+    if (group <= 2 * nn_) return wef_[static_cast<std::size_t>(group - nn_ - 1)]->output();
+    if (group <= 3 * nn_) return ba_[static_cast<std::size_t>(group - 2 * nn_ - 1)]->output(slot);
+    if (group <= 4 * nn_) return star2_[static_cast<std::size_t>(group - 3 * nn_ - 1)]->output();
+    if (group == 4 * nn_ + 1) return wef_[static_cast<std::size_t>(nn_)]->output();
+    if (group == 4 * nn_ + 2) return ba_[static_cast<std::size_t>(nn_)]->output(slot);
+    return star2_[static_cast<std::size_t>(nn_)]->output();
+  }
+
+  int groups() const { return 4 * nn_ + 4; }
+
+ private:
+  int nn_;
+  std::unique_ptr<BcBank> ok_bank_;              // groups 0..n
+  std::vector<std::unique_ptr<Bc>> wef_;         // [0..n-1] children, [n] ΠVSS
+  std::vector<std::unique_ptr<Bc>> star2_;       // [0..n-1] children, [n] ΠVSS
+  std::vector<std::unique_ptr<BcBank>> ba_;      // [0..n-1] children, [n] ΠVSS
+};
+
+}  // namespace legacyvss
+}  // namespace bobw

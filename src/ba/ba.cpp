@@ -2,18 +2,22 @@
 
 namespace bobw {
 
-Ba::Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Handler on_decide)
-    : party_(party), ctx_(ctx), start_(start_time), on_decide_(std::move(on_decide)) {
+Ba::Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Handler on_decide,
+       BcBank* bc_bank, int bc_group)
+    : party_(party), ctx_(ctx), start_(start_time), on_decide_(std::move(on_decide)),
+      bc_(bc_bank), bc_group_(bc_group) {
   regular_bits_.assign(static_cast<std::size_t>(ctx_.n), std::nullopt);
-  std::vector<int> senders(static_cast<std::size_t>(ctx_.n));
-  for (int j = 0; j < ctx_.n; ++j) senders[static_cast<std::size_t>(j)] = j;
-  bc_bank_ = std::make_unique<BcBank>(
-      party_, sub_id(id, "bc"), std::move(senders), ctx_, start_,
-      [this](int j, const std::optional<Bytes>& v, bool fallback) {
-        if (fallback || !v) return;
-        if (v->size() == 1 && (*v)[0] <= 1)
-          regular_bits_[static_cast<std::size_t>(j)] = (*v)[0] != 0;
-      });
+  if (!bc_) {
+    std::vector<int> senders(static_cast<std::size_t>(ctx_.n));
+    for (int j = 0; j < ctx_.n; ++j) senders[static_cast<std::size_t>(j)] = j;
+    bc_bank_ = std::make_unique<BcBank>(
+        party_, sub_id(id, "bc"), std::move(senders), ctx_, start_,
+        [this](int j, const std::optional<Bytes>& v, bool fallback) {
+          on_input_bc(j, v, fallback);
+        });
+    bc_ = bc_bank_.get();
+    bc_group_ = 0;
+  }
   aba_ = std::make_unique<Aba>(party_, sub_id(id, "aba"), ctx_.ts, *ctx_.coin,
                                [this](bool b) {
                                  if (on_decide_) on_decide_(b);
@@ -21,10 +25,17 @@ Ba::Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Han
   party_.at(start_, [this] {
     if (input_ && !input_broadcast_) {
       input_broadcast_ = true;
-      bc_bank_->broadcast(party_.id(), Bytes{*input_ ? std::uint8_t{1} : std::uint8_t{0}});
+      bc_->broadcast(bc_group_, party_.id(),
+                     Bytes{*input_ ? std::uint8_t{1} : std::uint8_t{0}});
     }
   });
   party_.at(start_ + ctx_.T.t_bc, [this] { at_deadline(); });
+}
+
+void Ba::on_input_bc(int j, const std::optional<Bytes>& v, bool fallback) {
+  if (fallback || !v) return;
+  if (v->size() == 1 && (*v)[0] <= 1)
+    regular_bits_[static_cast<std::size_t>(j)] = (*v)[0] != 0;
 }
 
 void Ba::set_input(bool b) {
@@ -32,7 +43,7 @@ void Ba::set_input(bool b) {
   input_ = b;
   if (party_.now() >= start_ && !input_broadcast_) {
     input_broadcast_ = true;
-    bc_bank_->broadcast(party_.id(), Bytes{b ? std::uint8_t{1} : std::uint8_t{0}});
+    bc_->broadcast(bc_group_, party_.id(), Bytes{b ? std::uint8_t{1} : std::uint8_t{0}});
   }
   if (deadline_passed_) enter_aba();
 }

@@ -29,10 +29,22 @@ class Ba {
  public:
   using Handler = std::function<void(bool)>;
 
-  Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Handler on_decide);
+  /// Standalone: the instance builds its own n-slot input BcBank. When a
+  /// parent protocol multiplexes many ΠBA input layers over one shared
+  /// schedule plane (ΠVSS: the n child instances plus its own), it passes
+  /// `bc_bank`/`bc_group` — an n-slot group (slot j = Pj's bit, sender Pj,
+  /// start = start_time) on the parent's bank — and installs a group handler
+  /// forwarding into on_input_bc(); the instance then only *sends* through
+  /// the shared bank. The ΠABA stays per-instance either way.
+  Ba(Party& party, const std::string& id, const Ctx& ctx, Tick start_time, Handler on_decide,
+     BcBank* bc_bank = nullptr, int bc_group = 0);
 
   /// Provide this party's input. Can be called before or after start_time.
   void set_input(bool b);
+
+  /// ΠBC delivery for input slot j (Pj's bit). Public so a parent-owned
+  /// shared-plane group handler can drive this instance.
+  void on_input_bc(int j, const std::optional<Bytes>& v, bool fallback);
 
   bool has_input() const { return input_.has_value(); }
   bool decided() const { return aba_->decided(); }
@@ -48,7 +60,11 @@ class Ba {
   Tick start_;
   Handler on_decide_;
   // The n per-party input broadcasts are one BcBank (slot j = Pj's bit).
+  // `bc_` points either at the owned standalone bank or at the parent's
+  // shared schedule plane.
   std::unique_ptr<BcBank> bc_bank_;
+  BcBank* bc_ = nullptr;
+  int bc_group_ = 0;
   std::unique_ptr<Aba> aba_;
   std::optional<bool> input_;
   bool input_broadcast_ = false;

@@ -11,9 +11,10 @@
 // fallback rule) but multiplexes the transport:
 //
 //  * A bank serves a list of GROUPS — (senders, start time, handler) — over
-//    one flattened slot space. For ΠVSS that is the 3-D space
-//    (child, i, j): all n child ok-grids plus the dealer grid of one sharing
-//    ride ONE bank.
+//    one flattened slot space. For ΠVSS that is the whole sharing's schedule
+//    plane: all n child ok-grids, the dealer grid, every child's and ΠVSS's
+//    own wef/★₂ broadcast and ΠBA input layer — 4n+4 groups — ride ONE bank
+//    (see the layout table in src/vss/vss.hpp).
 //  * AcastBank coalesces all groups' INIT/ECHO/READY traffic per local
 //    Δ-window into ONE wire message of (type, value) → slot-list groups,
 //    with per-slot digest-interned echo/ready vote sets. Outgoing traffic is
@@ -26,8 +27,10 @@
 //  * SbaBank runs ONE shared phase-king schedule per distinct group start
 //    time whose per-round send_all carries the vector of all K slot values
 //    (encoded as value-groups + a default value, so K near-identical
-//    verdicts cost O(1) values on the wire). A ΠVSS sharing needs exactly
-//    two: the n child grids share one start, the dealer grid starts later.
+//    verdicts cost O(1) values on the wire). Groups with equal start times
+//    share a schedule regardless of position: a ΠVSS sharing has seven
+//    distinct layer start times, so it needs exactly seven SBA schedules —
+//    independent of n — where the per-child wiring paid 3n+5.
 //  * BcBank composes the two and exposes per-(group, slot) broadcast() and
 //    handler semantics identical to Bc's. Bc itself is the one-group, K = 1
 //    wrapper.
@@ -42,8 +45,10 @@
 // Grid message count drops from O(K·n²) + O(K·n·t) per Δ-window to O(n) per
 // Δ-window: each party sends at most one coalesced Acast batch per window
 // and one SBA vector per round per schedule. The pre-bank per-pair path is
-// frozen in bench/legacy_bcgrid.hpp, and the pre-mega-bank per-child-bank
-// VSS wiring in bench/legacy_vssbank.hpp, for same-binary differentials.
+// frozen in bench/legacy_bcgrid.hpp, the pre-mega-bank per-child-bank ok
+// wiring in bench/legacy_vssbank.hpp, and the pre-plane per-child
+// wef/★₂/BA wiring in bench/legacy_vssplanes.hpp, for same-binary
+// differentials.
 #pragma once
 
 #include <functional>

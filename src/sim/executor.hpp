@@ -36,8 +36,9 @@
 // Ticks with fewer due deliveries than `min_batch`, with closures whose
 // owner is unknown (EventQueue::kNoOwner — ad-hoc test timers), or that
 // would cross the event budget run on an exact sequential micro-loop
-// instead; the async profile never enters this executor (Sim::run falls
-// back to EventQueue::run).
+// instead. The argument is profile-independent: async jitter is drawn in
+// Sim::post during the merge replay, in the same canonical order as the
+// sequential engine, so asynchronous runs use this executor too.
 #pragma once
 
 #include <atomic>

@@ -138,10 +138,11 @@ void Sim::post(Msg m) {
 }
 
 std::uint64_t Sim::run(Tick max_time, std::uint64_t max_events) {
-  // The window executor's determinism argument leans on the synchronous
-  // round structure; the async profile stays on the sequential engine.
-  if (exec_ && delay_.config().mode == NetMode::kSynchronous)
-    return exec_->run(max_time, max_events);
+  // Every delay draw — async jitter included — happens in Sim::post, which
+  // the executor's merge phase replays in canonical (pri, seq) order, so the
+  // window executor is bit-identical to the sequential engine in every
+  // network profile; async runs use it too.
+  if (exec_) return exec_->run(max_time, max_events);
   return queue_.run(max_time, max_events);
 }
 

@@ -19,19 +19,24 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
   wsh_.resize(static_cast<std::size_t>(nn));
   verdict_broadcast_.assign(static_cast<std::size_t>(nn), 0);
 
-  // One mega-bank for the whole sharing's 3-D ok-verdict space
-  // (child, i, j): groups 0..n-1 are the n child-ΠWPS grids (start B+3Δ =
-  // child base + 2Δ, so they share one SBA schedule), group n is the
-  // dealer's own grid at B+Δ+T_WPS. The handlers fire only during the run,
-  // after the children below exist.
+  // One schedule plane for the whole sharing: every broadcast/BA layer of
+  // the n child-ΠWPS instances plus ΠVSS's own rides one slot-multiplexed
+  // bank — one Acast coalescing window, one SBA schedule per distinct layer
+  // start time (seven, independent of n; see the group-layout table in
+  // vss.hpp). The handlers fire only during the run, after the children
+  // below exist.
+  const Tick child_ok = base_ + 3 * ctx_.delta;  // child base + 2Δ
   const Tick ok_start = base_ + ctx_.delta + ctx_.T.t_wps;
+  const Tick accept_time = ok_start + 2 * ctx_.T.t_bc;
   std::vector<int> grid(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
   for (int i = 0; i < nn; ++i)
     for (int j = 0; j < nn; ++j) grid[static_cast<std::size_t>(i * nn + j)] = i;
+  std::vector<int> everyone(static_cast<std::size_t>(nn));
+  for (int j = 0; j < nn; ++j) everyone[static_cast<std::size_t>(j)] = j;
   std::vector<BcBank::Group> groups;
-  groups.reserve(static_cast<std::size_t>(nn) + 1);
+  groups.reserve(4 * static_cast<std::size_t>(nn) + 4);
   for (int j = 0; j < nn; ++j) {
-    groups.push_back({grid, base_ + 3 * ctx_.delta,
+    groups.push_back({grid, child_ok,
                       [this, j](int slot, const std::optional<Bytes>& v, bool fb) {
                         wps_[static_cast<std::size_t>(j)]->on_verdict(slot, v, fb);
                       }});
@@ -39,10 +44,43 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
   groups.push_back({grid, ok_start, [this](int slot, const std::optional<Bytes>& v, bool fb) {
                       on_verdict(slot, v, fb);
                     }});
-  ok_bank_ = std::make_unique<BcBank>(party_, sub_id(this->id(), "ok"), std::move(groups), ctx_);
+  for (int j = 0; j < nn; ++j) {
+    groups.push_back({std::vector<int>{j}, child_ok + ctx_.T.t_bc,
+                      [this, j](int /*slot*/, const std::optional<Bytes>& v, bool fb) {
+                        wps_[static_cast<std::size_t>(j)]->on_wef(v, fb);
+                      }});
+  }
+  for (int j = 0; j < nn; ++j) {
+    groups.push_back({everyone, child_ok + 2 * ctx_.T.t_bc,
+                      [this, j](int slot, const std::optional<Bytes>& v, bool fb) {
+                        wps_[static_cast<std::size_t>(j)]->on_ba_input(slot, v, fb);
+                      }});
+  }
+  for (int j = 0; j < nn; ++j) {
+    // Child ★₂ starts at child accept + T_BA = B+Δ+T_WPS: it reuses the
+    // dealer ok grid's SBA schedule (same partition by start value).
+    groups.push_back({std::vector<int>{j}, ok_start,
+                      [this, j](int /*slot*/, const std::optional<Bytes>& v, bool fb) {
+                        wps_[static_cast<std::size_t>(j)]->on_star2(v, fb);
+                      }});
+  }
+  groups.push_back({std::vector<int>{dealer_}, ok_start + ctx_.T.t_bc,
+                    [this](int /*slot*/, const std::optional<Bytes>& v, bool fb) {
+                      on_wef(v, fb);
+                    }});
+  groups.push_back({everyone, accept_time,
+                    [this](int slot, const std::optional<Bytes>& v, bool fb) {
+                      ba_->on_input_bc(slot, v, fb);
+                    }});
+  groups.push_back({std::vector<int>{dealer_}, accept_time + ctx_.T.t_ba,
+                    [this](int /*slot*/, const std::optional<Bytes>& v, bool fb) {
+                      on_star2(v, fb);
+                    }});
+  plane_ = std::make_unique<BcBank>(party_, sub_id(this->id(), "plane"), std::move(groups), ctx_);
 
   // Second layer: one ΠWPS per party, scheduled at B+Δ, each sending its
-  // verdicts through its group of the shared bank.
+  // ok verdicts, wef/★₂ broadcasts and ΠBA inputs through its groups of the
+  // shared plane.
   wps_.resize(static_cast<std::size_t>(nn));
   for (int j = 0; j < nn; ++j) {
     wps_[static_cast<std::size_t>(j)] = std::make_unique<Wps>(
@@ -51,37 +89,13 @@ Vss::Vss(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
           wsh_[static_cast<std::size_t>(j)] = sh;
           on_wps_share(j);
         },
-        ok_bank_.get(), j);
+        plane_.get(), /*ok_group=*/j, /*wef_group=*/nn + 1 + j,
+        /*star2_group=*/3 * nn + 1 + j, /*ba_group=*/2 * nn + 1 + j);
   }
 
-  wef_bc_ = std::make_unique<Bc>(
-      party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
-      [this](const std::optional<Bytes>& v, bool /*fb*/) {
-        if (!v) return;
-        if (auto s = wire::decode_star(*v, n())) {
-          if (!wef_) {
-            wef_ = std::move(*s);
-            wef_regular_ = wef_bc_->regular_output().has_value();
-            if (ba_out_ && !*ba_out_) try_path_w();
-          }
-        }
-      });
-
-  const Tick accept_time = ok_start + 2 * ctx_.T.t_bc;
-  star2_bc_ = std::make_unique<Bc>(
-      party_, sub_id(this->id(), "star2"), dealer_, ctx_, accept_time + ctx_.T.t_ba,
-      [this](const std::optional<Bytes>& v, bool /*fb*/) {
-        if (!v) return;
-        if (auto s = wire::decode_star(*v, n())) {
-          if (!star2_) {
-            star2_ = std::move(*s);
-            try_path_star2();
-          }
-        }
-      });
-
   ba_ = std::make_unique<Ba>(party_, sub_id(this->id(), "ba"), ctx_, accept_time,
-                             [this](bool b) { on_ba(b); });
+                             [this](bool b) { on_ba(b); },
+                             plane_.get(), /*bc_group=*/4 * nn + 2);
 
   if (self() == dealer_) {
     at(ok_start + ctx_.T.t_bc, [this] { dealer_find_wef(); });
@@ -181,7 +195,7 @@ void Vss::dealer_find_wef() {
   msg.E = std::move(star->E);
   msg.F = std::move(star->F);
   wef_sent_ = true;
-  wef_bc_->broadcast(wire::encode_star(msg));
+  plane_->broadcast(4 * n() + 1, 0, wire::encode_star(msg));
 }
 
 void Vss::dealer_try_star2() {
@@ -192,7 +206,7 @@ void Vss::dealer_try_star2() {
   wire::StarMsg msg;
   msg.E = std::move(star->E);
   msg.F = std::move(star->F);
-  star2_bc_->broadcast(wire::encode_star(msg));
+  plane_->broadcast(4 * n() + 3, 0, wire::encode_star(msg));
 }
 
 // ------------------------------------------------- rows & second layer ---
@@ -242,7 +256,7 @@ void Vss::maybe_broadcast_verdict(int j) {
         break;
       }
     }
-    ok_bank_->broadcast(n(), self() * n() + j, wire::encode_verdict(v));
+    plane_->broadcast(n(), self() * n() + j, wire::encode_verdict(v));
   });
 }
 
@@ -254,6 +268,29 @@ void Vss::on_verdict(int slot, const std::optional<Bytes>& v, bool fallback) {
   if (ba_out_ && *ba_out_) {
     if (self() == dealer_) dealer_try_star2();
     try_path_star2();
+  }
+}
+
+void Vss::on_wef(const std::optional<Bytes>& v, bool fallback) {
+  if (!v) return;
+  if (auto s = wire::decode_star(*v, n())) {
+    if (!wef_) {
+      wef_ = std::move(*s);
+      // First non-null delivery: fallback = false iff it is the regular-mode
+      // decide (the fallback path only fires after regular decided ⊥).
+      wef_regular_ = !fallback;
+      if (ba_out_ && !*ba_out_) try_path_w();
+    }
+  }
+}
+
+void Vss::on_star2(const std::optional<Bytes>& v, bool /*fallback*/) {
+  if (!v) return;
+  if (auto s = wire::decode_star(*v, n())) {
+    if (!star2_) {
+      star2_ = std::move(*s);
+      try_path_star2();
+    }
   }
 }
 

@@ -27,7 +27,6 @@
 #include <vector>
 
 #include "src/ba/ba.hpp"
-#include "src/bcast/bc.hpp"
 #include "src/bcast/bc_bank.hpp"
 #include "src/core/timing.hpp"
 #include "src/field/bivariate.hpp"
@@ -71,6 +70,8 @@ class Vss : public Instance {
   void on_wps_share(int j);
   void maybe_broadcast_verdict(int j);
   void on_verdict(int slot, const std::optional<Bytes>& v, bool fallback);
+  void on_wef(const std::optional<Bytes>& v, bool fallback);
+  void on_star2(const std::optional<Bytes>& v, bool fallback);
 
   void dealer_find_wef();
   void dealer_try_star2();
@@ -106,13 +107,21 @@ class Vss : public Instance {
   VerdictState verdicts_;
   std::vector<char> verdict_broadcast_;
 
-  // The whole sharing's (n+1)·n² ok-verdict broadcasts — all n child-ΠWPS
-  // grids plus the dealer grid — ride ONE slot-multiplexed mega-bank: one
-  // Acast coalescing window and two SBA schedules (children share a start;
-  // the dealer grid starts T_WPS−2Δ later). Group j < n belongs to child j,
-  // group n is the dealer grid.
-  std::unique_ptr<BcBank> ok_bank_;
-  std::unique_ptr<Bc> wef_bc_, star2_bc_;
+  // The whole sharing's broadcast/BA traffic — the (n+1)·n² ok-verdict
+  // grids, the n+1 wef and ★₂ dealer broadcasts and the (n+1)·n ΠBA input
+  // bits — rides ONE slot-multiplexed schedule plane: one Acast coalescing
+  // window and one SBA schedule per distinct layer start time (seven for
+  // the whole sharing, independent of n). Group layout (4n+4 groups):
+  //     0..n-1   child-ΠWPS ok grids        (n² slots, start B+3Δ)
+  //     n        dealer ok grid             (n² slots, B+Δ+T_WPS)
+  //     n+1+j    child j wef                (1 slot,  B+3Δ+T_BC)
+  //     2n+1+j   child j ΠBA inputs         (n slots, B+3Δ+2T_BC)
+  //     3n+1+j   child j ★₂                 (1 slot,  B+Δ+T_WPS — shares
+  //                                          the dealer grid's schedule)
+  //     4n+1     ΠVSS wef                   (1 slot,  B+Δ+T_WPS+T_BC)
+  //     4n+2     ΠVSS ΠBA inputs            (n slots, B+Δ+T_WPS+2T_BC)
+  //     4n+3     ΠVSS ★₂                    (1 slot,  B+Δ+T_WPS+2T_BC+T_BA)
+  std::unique_ptr<BcBank> plane_;
   std::unique_ptr<Ba> ba_;
 
   std::optional<wire::StarMsg> wef_;

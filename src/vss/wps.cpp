@@ -5,7 +5,8 @@
 namespace bobw {
 
 Wps::Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
-         Tick base, Handler on_shares, BcBank* ok_bank, int ok_group)
+         Tick base, Handler on_shares, BcBank* bank, int ok_group,
+         int wef_group, int star2_group, int ba_group)
     : Instance(party, std::move(id)),
       dealer_(dealer),
       L_(L),
@@ -19,10 +20,11 @@ Wps::Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
 
   // One ΠBC slot per ordered pair (slot i*n+j: Pi broadcasts its verdict on
   // Pj), multiplexed over one shared broadcast bank. A parent protocol may
-  // hand us a group of its own mega-bank instead; it owns the handler wiring.
+  // hand us a group of its own shared plane instead; it owns the handler
+  // wiring.
   const Tick ok_start = base_ + 2 * ctx_.delta;
-  if (ok_bank) {
-    ok_ = ok_bank;
+  if (bank) {
+    ok_ = bank;
     ok_group_ = ok_group;
   } else {
     std::vector<int> senders(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn));
@@ -34,34 +36,27 @@ Wps::Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
     ok_ = ok_bank_.get();
   }
 
-  wef_bc_ = std::make_unique<Bc>(
-      party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
-      [this](const std::optional<Bytes>& v, bool /*fb*/) {
-        if (!v) return;
-        if (auto s = wire::decode_star(*v, n())) {
-          if (!wef_) {
-            wef_ = std::move(*s);
-            wef_regular_ = wef_bc_->regular_output().has_value();
-            if (ba_out_ && !*ba_out_) try_path_w();
-          }
-        }
-      });
+  if (bank && wef_group >= 0) {
+    wef_group_ = wef_group;
+  } else {
+    wef_bc_ = std::make_unique<Bc>(
+        party_, sub_id(this->id(), "wef"), dealer_, ctx_, ok_start + ctx_.T.t_bc,
+        [this](const std::optional<Bytes>& v, bool fb) { on_wef(v, fb); });
+  }
 
   const Tick accept_time = ok_start + 2 * ctx_.T.t_bc;
-  star2_bc_ = std::make_unique<Bc>(
-      party_, sub_id(this->id(), "star2"), dealer_, ctx_, accept_time + ctx_.T.t_ba,
-      [this](const std::optional<Bytes>& v, bool /*fb*/) {
-        if (!v) return;
-        if (auto s = wire::decode_star(*v, n())) {
-          if (!star2_) {
-            star2_ = std::move(*s);
-            try_path_star2();
-          }
-        }
-      });
+  if (bank && star2_group >= 0) {
+    star2_group_ = star2_group;
+  } else {
+    star2_bc_ = std::make_unique<Bc>(
+        party_, sub_id(this->id(), "star2"), dealer_, ctx_, accept_time + ctx_.T.t_ba,
+        [this](const std::optional<Bytes>& v, bool fb) { on_star2(v, fb); });
+  }
 
   ba_ = std::make_unique<Ba>(party_, sub_id(this->id(), "ba"), ctx_, accept_time,
-                             [this](bool b) { on_ba(b); });
+                             [this](bool b) { on_ba(b); },
+                             (bank && ba_group >= 0) ? bank : nullptr,
+                             ba_group >= 0 ? ba_group : 0);
 
   if (self() == dealer_) {
     at(ok_start + ctx_.T.t_bc, [this] { dealer_find_wef(); });
@@ -146,7 +141,10 @@ void Wps::dealer_find_wef() {
   msg.E = std::move(star->E);
   msg.F = std::move(star->F);
   wef_sent_ = true;
-  wef_bc_->broadcast(wire::encode_star(msg));
+  if (wef_bc_)
+    wef_bc_->broadcast(wire::encode_star(msg));
+  else
+    ok_->broadcast(wef_group_, 0, wire::encode_star(msg));
 }
 
 void Wps::dealer_try_star2() {
@@ -157,7 +155,10 @@ void Wps::dealer_try_star2() {
   wire::StarMsg msg;
   msg.E = std::move(star->E);
   msg.F = std::move(star->F);
-  star2_bc_->broadcast(wire::encode_star(msg));
+  if (star2_bc_)
+    star2_bc_->broadcast(wire::encode_star(msg));
+  else
+    ok_->broadcast(star2_group_, 0, wire::encode_star(msg));
 }
 
 // ------------------------------------------------------- rows & points ---
@@ -222,6 +223,35 @@ void Wps::maybe_broadcast_verdict(int j) {
     }
     ok_->broadcast(ok_group_, self() * n() + j, wire::encode_verdict(v));
   });
+}
+
+void Wps::on_wef(const std::optional<Bytes>& v, bool fallback) {
+  if (!v) return;
+  if (auto s = wire::decode_star(*v, n())) {
+    if (!wef_) {
+      wef_ = std::move(*s);
+      // The regular-mode decide fires with fallback = false; the immediate
+      // fallback fires only after the regular output decided ⊥ — so the
+      // first non-null delivery's flag is exactly "arrived in regular mode"
+      // (the same predicate the standalone wiring read off its own Bc).
+      wef_regular_ = !fallback;
+      if (ba_out_ && !*ba_out_) try_path_w();
+    }
+  }
+}
+
+void Wps::on_star2(const std::optional<Bytes>& v, bool /*fallback*/) {
+  if (!v) return;
+  if (auto s = wire::decode_star(*v, n())) {
+    if (!star2_) {
+      star2_ = std::move(*s);
+      try_path_star2();
+    }
+  }
+}
+
+void Wps::on_ba_input(int slot, const std::optional<Bytes>& v, bool fallback) {
+  ba_->on_input_bc(slot, v, fallback);
 }
 
 void Wps::on_verdict(int slot, const std::optional<Bytes>& v, bool fallback) {

@@ -41,19 +41,30 @@ class Wps : public Instance {
   /// Fires once, with the L wps-shares of this party.
   using Handler = std::function<void(const std::vector<Fp>&)>;
 
-  /// Standalone: the instance builds its own ok-verdict BcBank. When a
-  /// parent protocol multiplexes many ΠWPS grids over one shared mega-bank
-  /// (ΠVSS: all n child grids plus the dealer grid of one sharing), it
-  /// passes `ok_bank`/`ok_group` instead and installs a group handler that
-  /// forwards into on_verdict(); the child then only *sends* through the
-  /// shared bank. The grid schedule is unchanged either way: verdicts
-  /// broadcast at T0 = base+2Δ.
+  /// Standalone: the instance builds its own ok-verdict BcBank, wef/★₂ ΠBC
+  /// instances and ΠBA input bank. When a parent protocol multiplexes many
+  /// ΠWPS instances over one shared schedule plane (ΠVSS: all n children
+  /// plus its own layers of one sharing), it passes `bank` plus group
+  /// indices and installs group handlers that forward into on_verdict() /
+  /// on_wef() / on_star2() / on_ba_input(); the child then only *sends*
+  /// through the shared bank. A group index of -1 keeps that layer
+  /// standalone. The schedule is unchanged either way: verdicts broadcast
+  /// at T0 = base+2Δ, wef at T0+T_BC, BA inputs at T0+2T_BC, ★₂ at
+  /// T0+2T_BC+T_BA.
   Wps(Party& party, std::string id, int dealer, int L, const Ctx& ctx,
-      Tick base, Handler on_shares, BcBank* ok_bank = nullptr, int ok_group = 0);
+      Tick base, Handler on_shares, BcBank* bank = nullptr, int ok_group = 0,
+      int wef_group = -1, int star2_group = -1, int ba_group = -1);
 
   /// ΠBC verdict delivery for slot i*n+j (Pi's verdict on Pj). Public so a
   /// parent-owned mega-bank group handler can drive this instance.
   void on_verdict(int slot, const std::optional<Bytes>& v, bool fallback);
+
+  /// ΠBC delivery of the dealer's (W,E,F) broadcast (shared-plane wiring).
+  void on_wef(const std::optional<Bytes>& v, bool fallback);
+  /// ΠBC delivery of the dealer's (E',F') broadcast (shared-plane wiring).
+  void on_star2(const std::optional<Bytes>& v, bool fallback);
+  /// ΠBC delivery for ΠBA input slot j (shared-plane wiring).
+  void on_ba_input(int slot, const std::optional<Bytes>& v, bool fallback);
 
   /// Dealer-side entry: share the L degree-ts polynomials q^(ℓ)(·)
   /// (each is embedded into a fresh random symmetric bivariate polynomial).
@@ -122,10 +133,13 @@ class Wps : public Instance {
   // Sub-protocol instances. The n² ok-verdict broadcasts are one BcBank
   // (slot i*n+j = Pi's verdict on Pj, sender Pi) multiplexed over shared
   // Acast/SBA rounds instead of n² independent ΠBC instances. `ok_` points
-  // either at the owned standalone bank or at the parent's shared mega-bank.
+  // either at the owned standalone bank or at the parent's shared plane;
+  // with a plane, the wef/★₂/BA layers ride it too (wef_bc_/star2_bc_ stay
+  // null and the group indices name the plane's 1-slot dealer groups).
   std::unique_ptr<BcBank> ok_bank_;
   BcBank* ok_ = nullptr;
   int ok_group_ = 0;
+  int wef_group_ = -1, star2_group_ = -1;
   std::unique_ptr<Bc> wef_bc_, star2_bc_;
   std::unique_ptr<Ba> ba_;
 

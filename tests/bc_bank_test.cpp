@@ -16,6 +16,7 @@
 
 #include "bench/legacy_bcgrid.hpp"
 #include "bench/legacy_vssbank.hpp"
+#include "bench/legacy_vssplanes.hpp"
 #include "src/bcast/bc.hpp"
 #include "src/bcast/bc_bank.hpp"
 #include "src/sim/adversary_zoo.hpp"
@@ -907,6 +908,337 @@ TEST(VssMegaBank, ZooSchedulersExactMatch) {
   const std::vector<std::uint8_t> sides{0, 0, 1, 1};
   run_vss_differential(std::make_shared<zoo::PartitionHeal>(sides, 6000),
                        std::make_shared<zoo::PartitionHeal>(sides, 6000), "vss-partition");
+}
+
+// ---- schedule plane (v2) vs frozen PR 9 per-child wiring ------------------
+//
+// Schedule-sharing v2 extends the ok mega-bank to EVERY broadcast/BA layer
+// of a sharing: the 4n+4-group plane (planelayout::sharing_plane_groups —
+// the exact layout src/vss/vss.cpp builds) rides one Acast window and seven
+// SBA schedules where the PR 9 wiring (bench/legacy_vssplanes.hpp) paid
+// 3n+4 and 3n+5. The differential drives identical traffic across all
+// layers — ok grids, per-child and ΠVSS wef/★₂ broadcasts, ΠBA input bits —
+// through both wirings and demands per-(group, slot) records tick-for-tick
+// identical: regular outputs, decision ticks, fallback switches, finals.
+
+/// Value a test sender broadcasts on plane (group, slot): distinct per pair.
+Bytes plane_value(int group, int slot) {
+  return Bytes{static_cast<std::uint8_t>(group), static_cast<std::uint8_t>(slot),
+               static_cast<std::uint8_t>(group * 31 + slot * 7 + 1)};
+}
+
+/// Slot count of plane group g (see the layout table in legacy_vssplanes.hpp).
+int plane_group_slots(int n, int g) {
+  if (g <= n) return n * n;       // ok grids
+  if (g <= 2 * n) return 1;       // child wefs
+  if (g <= 3 * n) return n;       // child ΠBA inputs
+  if (g <= 4 * n) return 1;       // child ★₂
+  if (g == 4 * n + 2) return n;   // ΠVSS ΠBA inputs
+  return 1;                       // ΠVSS wef / ★₂
+}
+
+/// Flattened index of plane (group, slot) into one Records row.
+int plane_flat_index(int n, int g, int s) {
+  if (g <= n) return g * n * n + s;
+  int idx = (n + 1) * n * n;
+  if (g <= 2 * n) return idx + (g - n - 1);
+  idx += n;
+  if (g <= 3 * n) return idx + (g - 2 * n - 1) * n + s;
+  idx += n * n;
+  if (g <= 4 * n) return idx + (g - 3 * n - 1);
+  idx += n;
+  if (g == 4 * n + 1) return idx;
+  if (g == 4 * n + 2) return idx + 1 + s;
+  return idx + 1 + n;
+}
+
+int plane_total_slots(int n) { return plane_flat_index(n, 4 * n + 3, 0) + 1; }
+
+struct PlaneRun {
+  std::vector<std::unique_ptr<BcBank>> inst;  // per party
+  Records rec;
+
+  PlaneRun(test::World& w, Tick vss_base) : rec(w.n(), plane_total_slots(w.n())) {
+    const int n = w.n();
+    inst.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (!w.runs_code(i)) continue;
+      auto* world = &w;
+      auto* recs = &rec;
+      int p = i;
+      inst[static_cast<std::size_t>(i)] = std::make_unique<BcBank>(
+          w.party(i), "vss/plane",
+          planelayout::sharing_plane_groups(
+              n, /*dealer=*/0, vss_base, w.ctx,
+              [recs, world, p, n](int g, int s, const std::optional<Bytes>& v, bool fb) {
+                SlotRecord& sr = recs->at(p, plane_flat_index(n, g, s));
+                if (fb) {
+                  sr.fallback = v;
+                  sr.fallback_time = world->sim->now();
+                } else {
+                  sr.regular = v;
+                  sr.regular_time = world->sim->now();
+                }
+              }),
+          w.ctx);
+    }
+  }
+
+  void broadcast(int i, int g, int s, const Bytes& m) {
+    inst[static_cast<std::size_t>(i)]->broadcast(g, s, m);
+  }
+
+  void capture_finals(test::World& w) {
+    const int n = w.n();
+    for (int i = 0; i < n; ++i) {
+      if (!inst[static_cast<std::size_t>(i)]) continue;
+      for (int g = 0; g < 4 * n + 4; ++g)
+        for (int s = 0; s < plane_group_slots(n, g); ++s)
+          rec.at(i, plane_flat_index(n, g, s)).final_out =
+              inst[static_cast<std::size_t>(i)]->output(g, s);
+    }
+  }
+};
+
+struct LegacyPlanesRun {
+  std::vector<std::unique_ptr<legacyvss::Planes>> inst;  // per party
+  Records rec;
+
+  LegacyPlanesRun(test::World& w, Tick vss_base) : rec(w.n(), plane_total_slots(w.n())) {
+    const int n = w.n();
+    inst.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      if (!w.runs_code(i)) continue;
+      auto* world = &w;
+      auto* recs = &rec;
+      int p = i;
+      inst[static_cast<std::size_t>(i)] = std::make_unique<legacyvss::Planes>(
+          w.party(i), "vss", /*dealer=*/0, w.ctx, vss_base,
+          [recs, world, p, n](int g, int s, const std::optional<Bytes>& v, bool fb) {
+            SlotRecord& sr = recs->at(p, plane_flat_index(n, g, s));
+            if (fb) {
+              sr.fallback = v;
+              sr.fallback_time = world->sim->now();
+            } else {
+              sr.regular = v;
+              sr.regular_time = world->sim->now();
+            }
+          });
+    }
+  }
+
+  void broadcast(int i, int g, int s, const Bytes& m) {
+    inst[static_cast<std::size_t>(i)]->broadcast(g, s, m);
+  }
+
+  void capture_finals(test::World& w) {
+    const int n = w.n();
+    for (int i = 0; i < n; ++i) {
+      if (!inst[static_cast<std::size_t>(i)]) continue;
+      for (int g = 0; g < 4 * n + 4; ++g)
+        for (int s = 0; s < plane_group_slots(n, g); ++s)
+          rec.at(i, plane_flat_index(n, g, s)).final_out =
+              inst[static_cast<std::size_t>(i)]->output(g, s);
+    }
+  }
+};
+
+/// Full honest traffic across every layer, at each layer's production start:
+/// ok grids, per-child wef/★₂ stars, ΠBA input bits, and the dealer's ΠVSS
+/// wef/★₂ — the shape one sharing produces when everything fires on schedule.
+template <typename Run>
+void drive_plane_traffic(test::World& w, Run& run, Tick vss_base) {
+  const int n = w.n();
+  const Ctx& ctx = w.ctx;
+  const Tick child_ok = vss_child_start(ctx, vss_base);
+  const Tick ok_start = vss_dealer_start(ctx, vss_base);  // = child ★₂ start
+  const Tick accept_time = ok_start + 2 * ctx.T.t_bc;
+  for (int i = 0; i < n; ++i) {
+    if (!w.runs_code(i)) continue;
+    w.party(i).at(child_ok, [&run, i, n] {
+      for (int g = 0; g < n; ++g)
+        for (int j = 0; j < n; ++j) run.broadcast(i, g, i * n + j, plane_value(g, i * n + j));
+    });
+    w.party(i).at(child_ok + ctx.T.t_bc, [&run, i, n] {
+      run.broadcast(i, n + 1 + i, 0, plane_value(n + 1 + i, 0));
+    });
+    w.party(i).at(child_ok + 2 * ctx.T.t_bc, [&run, i, n] {
+      for (int g = 0; g < n; ++g)
+        run.broadcast(i, 2 * n + 1 + g, i, plane_value(2 * n + 1 + g, i));
+    });
+    w.party(i).at(ok_start, [&run, i, n] {
+      for (int j = 0; j < n; ++j) run.broadcast(i, n, i * n + j, plane_value(n, i * n + j));
+      run.broadcast(i, 3 * n + 1 + i, 0, plane_value(3 * n + 1 + i, 0));
+    });
+    if (i == 0) {  // the dealer's ΠVSS-level wef and ★₂
+      w.party(i).at(ok_start + ctx.T.t_bc,
+                    [&run, n] { run.broadcast(0, 4 * n + 1, 0, plane_value(4 * n + 1, 0)); });
+      w.party(i).at(accept_time + ctx.T.t_ba,
+                    [&run, n] { run.broadcast(0, 4 * n + 3, 0, plane_value(4 * n + 3, 0)); });
+    }
+    w.party(i).at(accept_time, [&run, i, n] {
+      run.broadcast(i, 4 * n + 2, i, plane_value(4 * n + 2, i));
+    });
+  }
+}
+
+void run_plane_differential(std::shared_ptr<Adversary> plane_adv,
+                            std::shared_ptr<Adversary> legacy_adv, const char* tag,
+                            Tick vss_base = 0, std::uint64_t seed = 42) {
+  const int n = 4, ts = 1;
+  auto wp = make_world(n, ts, 0, NetMode::kSynchronous, std::move(plane_adv), seed);
+  PlaneRun plane(wp, vss_base);
+  drive_plane_traffic(wp, plane, vss_base);
+  wp.sim->run();
+  plane.capture_finals(wp);
+
+  auto wl = make_world(n, ts, 0, NetMode::kSynchronous, std::move(legacy_adv), seed);
+  LegacyPlanesRun legacy(wl, vss_base);
+  drive_plane_traffic(wl, legacy, vss_base);
+  wl.sim->run();
+  legacy.capture_finals(wl);
+
+  expect_identical(plane.rec, legacy.rec, n, plane_total_slots(n), tag);
+}
+
+TEST(VssSchedulePlane, CrispSyncExactlyMatchesPerChildWiring) {
+  const int n = 4, ts = 1;
+  auto wp = make_world(n, ts, 0, NetMode::kSynchronous);
+  PlaneRun plane(wp, 0);
+  drive_plane_traffic(wp, plane, 0);
+  wp.sim->run();
+  plane.capture_finals(wp);
+  const auto plane_msgs = wp.sim->metrics().honest_msgs();
+  int plane_acasts = 0, plane_sbas = 0;
+  for (const auto& k : wp.sim->shared_state_keys()) {
+    if (k.rfind("acast|", 0) == 0) ++plane_acasts;
+    if (k.rfind("sba|", 0) == 0) ++plane_sbas;
+  }
+  // The whole sharing rides ONE Acast window and one SBA schedule per
+  // distinct layer start time — seven, independent of n.
+  EXPECT_EQ(plane_acasts, 1);
+  EXPECT_EQ(plane_sbas, 7);
+
+  auto wl = make_world(n, ts, 0, NetMode::kSynchronous);
+  LegacyPlanesRun legacy(wl, 0);
+  drive_plane_traffic(wl, legacy, 0);
+  wl.sim->run();
+  legacy.capture_finals(wl);
+  const auto legacy_msgs = wl.sim->metrics().honest_msgs();
+  int legacy_acasts = 0, legacy_sbas = 0;
+  for (const auto& k : wl.sim->shared_state_keys()) {
+    if (k.rfind("acast|", 0) == 0) ++legacy_acasts;
+    if (k.rfind("sba|", 0) == 0) ++legacy_sbas;
+  }
+  EXPECT_EQ(legacy_acasts, 3 * n + 4);
+  EXPECT_EQ(legacy_sbas, 3 * n + 5);
+
+  expect_identical(plane.rec, legacy.rec, n, plane_total_slots(n), "plane-crisp");
+  EXPECT_GE(legacy_msgs, 2 * plane_msgs) << legacy_msgs << " vs " << plane_msgs;
+}
+
+TEST(VssSchedulePlane, StaggeredStartsAndLateExactMatch) {
+  // In-window staggered ok verdicts, a never-started ok slot (⊥), party 1's
+  // (W,E,F) past the wef regular deadline and party 3's dealer-grid row past
+  // its deadline: both late arrivals must surface as fallback switches at
+  // identical ticks in both wirings.
+  const int n = 4, ts = 1;
+  for (Tick vss_base : {Tick{0}, Tick{500}}) {
+    auto drive = [&](auto& run, test::World& w) {
+      const Ctx& ctx = w.ctx;
+      const Tick child_ok = vss_child_start(ctx, vss_base);
+      const Tick ok_start = vss_dealer_start(ctx, vss_base);
+      const Tick accept_time = ok_start + 2 * ctx.T.t_bc;
+      const Tick half = ctx.delta / 2;
+      for (int i = 0; i < n; ++i) {
+        const Tick when = child_ok + (i % 2 ? half : 0);
+        w.party(i).at(when, [&run, i, n] {
+          for (int g = 0; g < n; ++g)
+            for (int j = 0; j < n; ++j) {
+              if (g == 0 && i == 2 && j == 3) continue;  // never started -> ⊥
+              run.broadcast(i, g, i * n + j, plane_value(g, i * n + j));
+            }
+        });
+        const Tick wwhen =
+            child_ok + ctx.T.t_bc + (i == 1 ? ctx.T.t_bc + 2 * ctx.delta : Tick{0});
+        w.party(i).at(wwhen, [&run, i, n] {
+          run.broadcast(i, n + 1 + i, 0, plane_value(n + 1 + i, 0));
+        });
+        w.party(i).at(child_ok + 2 * ctx.T.t_bc, [&run, i, n] {
+          for (int g = 0; g < n; ++g)
+            run.broadcast(i, 2 * n + 1 + g, i, plane_value(2 * n + 1 + g, i));
+        });
+        const Tick dwhen = i == 3 ? ok_start + ctx.T.t_bc + 2 * ctx.delta : ok_start;
+        w.party(i).at(dwhen, [&run, i, n] {
+          for (int j = 0; j < n; ++j) run.broadcast(i, n, i * n + j, plane_value(n, i * n + j));
+        });
+        w.party(i).at(ok_start, [&run, i, n] {
+          run.broadcast(i, 3 * n + 1 + i, 0, plane_value(3 * n + 1 + i, 0));
+        });
+        if (i == 0) {
+          w.party(i).at(ok_start + ctx.T.t_bc,
+                        [&run, n] { run.broadcast(0, 4 * n + 1, 0, plane_value(4 * n + 1, 0)); });
+          w.party(i).at(accept_time + ctx.T.t_ba,
+                        [&run, n] { run.broadcast(0, 4 * n + 3, 0, plane_value(4 * n + 3, 0)); });
+        }
+        w.party(i).at(accept_time, [&run, i, n] {
+          run.broadcast(i, 4 * n + 2, i, plane_value(4 * n + 2, i));
+        });
+      }
+    };
+
+    auto wp = make_world(n, ts, 0, NetMode::kSynchronous);
+    PlaneRun plane(wp, vss_base);
+    drive(plane, wp);
+    wp.sim->run();
+    plane.capture_finals(wp);
+
+    auto wl = make_world(n, ts, 0, NetMode::kSynchronous);
+    LegacyPlanesRun legacy(wl, vss_base);
+    drive(legacy, wl);
+    wl.sim->run();
+    legacy.capture_finals(wl);
+
+    expect_identical(plane.rec, legacy.rec, n, plane_total_slots(n), "plane-staggered");
+    // Party 1's late wef really did fall back somewhere.
+    bool wef_fb = false;
+    for (int p = 0; p < n; ++p)
+      if (plane.rec.at(p, plane_flat_index(n, n + 2, 0)).fallback) wef_fb = true;
+    EXPECT_TRUE(wef_fb);
+    // The never-started ok slot is ⊥ everywhere.
+    for (int p = 0; p < n; ++p) {
+      const SlotRecord& sr = plane.rec.at(p, plane_flat_index(n, 0, 2 * n + 3));
+      ASSERT_TRUE(sr.regular);
+      EXPECT_FALSE(*sr.regular);
+      EXPECT_FALSE(sr.final_out);
+    }
+  }
+}
+
+TEST(VssSchedulePlane, CrashedPartyExactMatch) {
+  // Party 1 crashes outright: its ok rows, wef, ★₂ and BA bits stay ⊥ in
+  // every layer, all other slots decide normally — identically in both.
+  run_plane_differential(test::crash({1}), test::crash({1}), "plane-crash");
+}
+
+TEST(VssSchedulePlane, ByzantineEquivocatorExactMatch) {
+  // Both wirings are bank-backed end to end, so the same per-recipient INIT
+  // garbling applies unchanged to either.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto padv = std::make_shared<BankEquivocator>();
+    padv->corrupt(0);
+    auto ladv = std::make_shared<BankEquivocator>();
+    ladv->corrupt(0);
+    run_plane_differential(std::move(padv), std::move(ladv), "plane-equivocator", 0, seed);
+  }
+}
+
+TEST(VssSchedulePlane, ZooSchedulersExactMatch) {
+  run_plane_differential(std::make_shared<zoo::TargetedDelay>(2, 3000),
+                         std::make_shared<zoo::TargetedDelay>(2, 3000), "plane-targeted-delay");
+  const std::vector<std::uint8_t> sides{0, 0, 1, 1};
+  run_plane_differential(std::make_shared<zoo::PartitionHeal>(sides, 6000),
+                         std::make_shared<zoo::PartitionHeal>(sides, 6000), "plane-partition");
 }
 
 }  // namespace

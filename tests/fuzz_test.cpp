@@ -50,6 +50,7 @@ struct Coverage {
   std::set<int> kinds, profiles, mals;
   int max_n = 0;
   int sched_victim = 0, sched_partition = 0, mobile = 0, dealer_corrupt = 0;
+  int vss_big_corrupt_dealer = 0;  // kVss, n >= 6, party 0 (the dealer) corrupt
 
   void tally(const Scenario& s) {
     kinds.insert(static_cast<int>(s.kind));
@@ -57,7 +58,10 @@ struct Coverage {
     max_n = std::max(max_n, s.n);
     for (const auto& [p, plan] : s.plans) {
       mals.insert(static_cast<int>(plan.kind));
-      if (p == 0) ++dealer_corrupt;
+      if (p == 0) {
+        ++dealer_corrupt;
+        if (s.kind == ScenarioKind::kVss && s.n >= 6) ++vss_big_corrupt_dealer;
+      }
     }
     if (s.sched.victim >= 0) ++sched_victim;
     if (!s.sched.side_of.empty()) ++sched_partition;
@@ -162,6 +166,12 @@ TEST(FuzzDriver, Block) {
     EXPECT_GT(cov.sched_partition, 0) << "partition-then-heal never sampled";
     EXPECT_GT(cov.mobile, 0) << "mobile corruption never sampled";
     EXPECT_GT(cov.dealer_corrupt, 0) << "party 0 (the VSS dealer) never corrupt";
+    // The schedule plane multiplexes every broadcast/BA layer of a sharing
+    // through one bank; a corrupt dealer at committee scale (n >= 6) is the
+    // scenario most likely to skew one layer relative to another, so the
+    // block must sample it.
+    EXPECT_GT(cov.vss_big_corrupt_dealer, 0)
+        << "no VSS scenario at n >= 6 with a corrupt dealer sampled";
   }
 }
 

@@ -6,8 +6,11 @@
 // into shared coalesced Acast batches and one SBA vector per round), and the
 // VSS mega-bank collapses further (one sharing's n+1 per-child banks ride
 // ONE Acast window and two SBA schedules — bench/legacy_vssbank.hpp freezes
-// the per-child wiring), so the communication/event counts below are
-// re-pinned on the mega-banked plane. What must NOT move versus the frozen
+// the per-child wiring), and the PR 10 schedule plane collapses the rest
+// (every wef/★₂/BA layer of a sharing rides the same bank: one Acast
+// window, seven SBA schedules — bench/legacy_vssplanes.hpp freezes the PR 9
+// wiring), so the communication/event counts below are re-pinned on the
+// full schedule plane. What must NOT move versus the frozen
 // per-pair path (bench/legacy_bcgrid.hpp, captured by the PR 4 pins):
 //   * every party's output and input_cs, in every scenario;
 //   * synchronous finish times and end time — the bank flushes at exactly
@@ -50,8 +53,9 @@ struct Golden {
 void expect_golden(const Golden& g) {
   // Every pin must hold at every thread count: the window executor's whole
   // contract is a bit-identical trace (min_batch=1 forces the parallel path
-  // onto these small-n runs; async configs exercise the sequential
-  // fallback). threads=1 is the plain sequential engine.
+  // onto these small-n runs; async configs draw their jitter in the merge
+  // replay and run the executor too). threads=1 is the plain sequential
+  // engine.
   for (const int threads : {1, 2, 8}) {
     MpcConfig cfg = g.cfg;
     cfg.threads = threads;
@@ -94,9 +98,9 @@ TEST(GoldenTrace, SumAllN4SyncSeed1) {
            {26, 26, 26, 26},
            {117000, 117000, 117000, 117000},
            {0, 1, 2, 3},
-           19127040,
-           59952,
-           81600,
+           11980032,
+           36912,
+           50400,
            117000};
   expect_golden(g);
 }
@@ -116,9 +120,9 @@ TEST(GoldenTrace, PairwiseN4SyncCrash3Seed7) {
            {50, 50, 50, std::nullopt},
            {122000, 122000, 122000, 0},
            {0, 1, 2},
-           12036096,
-           42564,
-           57450,
+           8322432,
+           25668,
+           34650,
            122000};
   expect_golden(g);
 }
@@ -137,12 +141,12 @@ TEST(GoldenTrace, SumAllN5AsyncCrash2Seed3) {
            }(),
            circuits::sum_all(5),
            {32, 32, std::nullopt, 32, 32},
-           {137770, 137579, 0, 137387, 138404},
+           {138852, 136890, 0, 137323, 137937},
            {0, 1, 3, 4},
-           30700760,
-           144325,
-           184682,
-           139742};
+           20418440,
+           83880,
+           107621,
+           139682};
   expect_golden(g);
 }
 
@@ -327,7 +331,7 @@ TEST(GoldenFuzzScenarios, OnePinnedSeedPerNetProfile) {
        "fuzz_seed=23 kind=vss net=async n=4 ts=1 ta=0 delta=250 "
        "band=[1,2000] tamper=40% corrupt={} sched=partition:1011@heal1000 "
        "run_seed=173430206393098806",
-       "shares=4/4 end=22829"},
+       "shares=4/4 end=23718"},
   };
   for (const auto& pin : pins) {
     const Scenario s = expand_scenario(pin.seed);
@@ -343,7 +347,8 @@ TEST(GoldenFuzzScenarios, OnePinnedSeedPerNetProfile) {
 // threads ∈ {1, 2, 8} × {sync-crisp, sync-jitter, async} × fixed fuzz seeds:
 // the sharded executor must reproduce the sequential pins bit-for-bit
 // (min_batch=1 forces every delivery-bearing window onto the parallel path;
-// the async profile pins the sequential fallback under a threads knob).
+// the async profile rides the executor too — jitter draws happen in the
+// merge replay).
 // The MpcConfig-level matrix lives in expect_golden above, which re-runs
 // every golden trace at threads ∈ {1, 2, 8}.
 
@@ -351,7 +356,7 @@ TEST(ParallelDeterminism, FuzzScenarioPinsHoldAtEveryThreadCount) {
   const FuzzGolden pins[] = {
       {9, "", "decided=121 end=12000"},            // bc, sync-crisp, n=12
       {16, "", "shares=6/6 end=78000"},            // vss, sync-jitter, n=7
-      {23, "", "shares=4/4 end=22829"},            // vss, async (fallback)
+      {23, "", "shares=4/4 end=23718"},            // vss, async (executor)
   };
   for (const auto& pin : pins) {
     const Scenario s = expand_scenario(pin.seed);

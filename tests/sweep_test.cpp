@@ -257,11 +257,15 @@ TEST(VssSweep64, CommitteeModeHonestDealerSharesAtDeadline) {
     EXPECT_LE(*done[static_cast<std::size_t>(i)], w.ctx.T.t_vss) << i;
     EXPECT_EQ(inst[static_cast<std::size_t>(i)]->shares()[0], q.eval(alpha(i))) << i;
   }
-  // One sharing, one shared ok-verdict Acast state (the mega-bank), not 65.
-  int ok_banks = 0;
-  for (const auto& k : w.sim->shared_state_keys())
-    if (k.rfind("acast|", 0) == 0 && k.find("/ok/") != std::string::npos) ++ok_banks;
-  EXPECT_EQ(ok_banks, 1);
+  // One sharing, one shared Acast state for EVERY broadcast/BA layer (the
+  // schedule plane), not 196, and seven SBA schedules, not 197.
+  int planes = 0, sba_schedules = 0;
+  for (const auto& k : w.sim->shared_state_keys()) {
+    if (k.rfind("acast|", 0) == 0 && k.find("/plane/") != std::string::npos) ++planes;
+    if (k.rfind("sba|", 0) == 0 && k.find("/plane/") != std::string::npos) ++sba_schedules;
+  }
+  EXPECT_EQ(planes, 1);
+  EXPECT_EQ(sba_schedules, 7);
 }
 
 // ---- Reconstruct over batch sizes and thresholds --------------------------

@@ -160,11 +160,14 @@ TEST(Vss, SyncHonestDealerCorrectnessByTvss) {
   }
 }
 
-TEST(Vss, OneSharedOkBankPerSharing) {
-  // Transport shape of the mega-bank: the whole 3-D ok-verdict space
-  // (n child grids + the dealer grid) of one sharing rides ONE shared Acast
-  // state. The per-child wiring (bench/legacy_vssbank.hpp) would register
-  // n+1 — one "…/wps<j>/ok/acast" per child plus "…/ok/acast".
+TEST(Vss, OneSchedulePlanePerSharing) {
+  // Transport shape of the schedule plane: every broadcast/BA layer of one
+  // sharing — the (n+1)·n² ok grids, the n+1 wef and ★₂ broadcasts, the
+  // (n+1)·n ΠBA input bits — rides ONE shared Acast state and exactly SEVEN
+  // SBA schedules (one per distinct layer start time, independent of n).
+  // The frozen per-child wiring (bench/legacy_vssplanes.hpp) registers 3n+4
+  // Acast states and 3n+5 SBA schedules. Only the per-child ΠABAs remain
+  // outside the plane.
   const int n = 4, ts = 1, ta = 0, L = 1;
   auto w = make_world(n, ts, ta, NetMode::kSynchronous);
   VssRun run(w, 0, L, 0);
@@ -172,10 +175,18 @@ TEST(Vss, OneSharedOkBankPerSharing) {
   auto qs = random_inputs(L, ts, rng);
   w.party(0).at(0, [&] { run.inst[0]->deal(qs); });
   w.sim->run();
-  int ok_banks = 0;
-  for (const auto& k : w.sim->shared_state_keys())
-    if (k.rfind("acast|", 0) == 0 && k.find("/ok/") != std::string::npos) ++ok_banks;
-  EXPECT_EQ(ok_banks, 1);
+  int planes = 0, sba_schedules = 0, stray = 0;
+  for (const auto& k : w.sim->shared_state_keys()) {
+    if (k.rfind("acast|", 0) == 0 && k.find("/plane/") != std::string::npos) ++planes;
+    if (k.rfind("sba|", 0) == 0 && k.find("/plane/") != std::string::npos) ++sba_schedules;
+    // No Vss sub-instance may own a private wef/star2/ok/BA-input bank.
+    if (k.rfind("acast|", 0) == 0 && k.find("/plane/") == std::string::npos &&
+        k.find("vss/") != std::string::npos)
+      ++stray;
+  }
+  EXPECT_EQ(planes, 1);
+  EXPECT_EQ(sba_schedules, 7);
+  EXPECT_EQ(stray, 0);
   for (int i = 0; i < n; ++i) ASSERT_TRUE(run.inst[static_cast<std::size_t>(i)]->has_output());
 }
 
